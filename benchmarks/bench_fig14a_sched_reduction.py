@@ -1,0 +1,22 @@
+"""Fig. 14a: scheduling-operation reduction from coarse-grained dispatch.
+
+Paper: workload balancing reduces scheduling operations ~94% on LJ (whole
+small lists and eThreshold-sized sub-lists instead of per-edge streaming),
+with no performance loss despite using 16 DEs instead of 128.
+"""
+
+from conftest import run_once
+
+from repro.harness import figure14a
+
+
+def test_fig14a_sched_reduction(benchmark):
+    result = run_once(benchmark, lambda: figure14a("LJ"))
+    print()
+    print(result.render())
+
+    gm_reduction = result.rows[-1][3]
+    assert 85.0 < gm_reduction < 99.0, f"GM reduction {gm_reduction}%"
+    for row in result.rows[:-1]:
+        assert row[2] < row[1], row  # coarse ops < per-edge ops
+        assert row[3] > 80.0, row

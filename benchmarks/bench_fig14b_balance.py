@@ -1,0 +1,25 @@
+"""Fig. 14b: per-PE workload balance in the heaviest iterations.
+
+Paper: SSWP on LJ, normalized per-PE workloads sit within ~1% of the ideal
+1.0 across the heaviest iterations once balanced dispatch is on.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.harness import figure14b
+
+
+def test_fig14b_balance(benchmark):
+    result = run_once(benchmark, lambda: figure14b("LJ", "SSWP"))
+    print()
+    print(result.render())
+
+    assert result.rows, "no iterations captured"
+    loads = np.array([row[1:] for row in result.rows], dtype=float)
+    # Every PE in every heavy iteration within 15% of the mean; the very
+    # heaviest iterations essentially perfectly balanced.
+    assert loads.max() < 1.15
+    assert loads.min() > 0.85
+    heaviest = loads[0]
+    assert abs(heaviest - 1.0).max() < 0.05

@@ -1,0 +1,36 @@
+"""Fig. 14c: cumulative-optimization speedups vs Graphicionado on LJ.
+
+Paper GM: WE 1.39x, WEA 1.57x, WEAU 1.8x.  Shape requirements: the curve
+is monotonically non-decreasing; AO helps PR and CC most (their
+throughput produces the most RAW conflicts per cycle); US adds nothing for
+PR (it updates every vertex anyway).
+"""
+
+from conftest import run_once
+
+from repro.harness import figure14c
+
+
+def test_fig14c_ablation(benchmark):
+    result = run_once(benchmark, lambda: figure14c("LJ"))
+    print()
+    print(result.render())
+
+    rows = {row[0]: row[1:] for row in result.rows}
+    wb, we, wea, weau = rows["GM"]
+    # Monotone improvement with the paper's ordering.
+    assert wb <= we <= wea <= weau * 1.001
+    assert 1.2 < we < 2.2, f"WE {we}"
+    assert 1.4 < wea < 2.3, f"WEA {wea}"
+    assert 1.5 < weau < 2.5, f"WEAU {weau}"
+
+    # AO's contribution is largest for PR.
+    ao_gain = {
+        algo: vals[2] / vals[1]
+        for algo, vals in rows.items()
+        if algo != "GM"
+    }
+    assert max(ao_gain, key=ao_gain.get) in ("PR", "CC")
+    # US adds (almost) nothing for PR.
+    pr = rows["PR"]
+    assert pr[3] <= pr[2] * 1.02

@@ -1,0 +1,29 @@
+"""Fig. 14d: off-chip access reduction from EP and US on LJ.
+
+Paper: exact prefetching removes ~30% of HBM traffic on average (no
+over-fetch, no offset chasing); update scheduling removes ~18% more (BFS
+up to 55%, PR exactly 0 because it updates everything).
+"""
+
+from conftest import run_once
+
+from repro.harness import figure14d
+
+
+def test_fig14d_access_reduction(benchmark):
+    result = run_once(benchmark, lambda: figure14d("LJ"))
+    print()
+    print(result.render())
+
+    rows = {row[0]: row[1:] for row in result.rows}
+    ep_mean, us_mean = rows["MEAN"]
+    assert 5.0 < ep_mean < 45.0, f"EP mean reduction {ep_mean}%"
+    assert 5.0 < us_mean < 30.0, f"US mean reduction {us_mean}%"
+
+    # BFS benefits most from US (its Apply phase dominates); PR not at all.
+    us = {algo: vals[1] for algo, vals in rows.items() if algo != "MEAN"}
+    assert max(us, key=us.get) == "BFS"
+    assert us["PR"] == 0.0
+    # EP reduces traffic for every algorithm.
+    ep = {algo: vals[0] for algo, vals in rows.items() if algo != "MEAN"}
+    assert all(v > 0 for v in ep.values())

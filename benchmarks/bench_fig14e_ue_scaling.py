@@ -1,0 +1,30 @@
+"""Fig. 14e: performance vs number of Updating Elements on LJ.
+
+Paper: PR and CC slow down 53% and 20% going from 128 to 32 UEs -- the
+high-throughput algorithms contend for UEs; BFS/SSSP/SSWP are bound
+elsewhere and barely notice.  256 UEs buy little over 128.
+"""
+
+from conftest import run_once
+
+from repro.harness import figure14e
+
+
+def test_fig14e_ue_scaling(benchmark):
+    result = run_once(benchmark, lambda: figure14e("LJ"))
+    print()
+    print(result.render())
+
+    rows = {row[0]: dict(zip(result.headers[1:], row[1:])) for row in result.rows}
+    # 128 UEs is the normalization point.
+    for algo, vals in rows.items():
+        assert vals["128"] == 100.0
+
+    # High-throughput algorithms degrade most at 32 UEs.
+    drop = {algo: 100.0 - vals["32"] for algo, vals in rows.items()}
+    assert drop["PR"] > drop["SSSP"]
+    assert drop["CC"] > drop["SSSP"]
+    assert drop["PR"] > 25.0, drop
+    # Doubling beyond 128 is a small effect.
+    for algo, vals in rows.items():
+        assert vals["256"] < 130.0

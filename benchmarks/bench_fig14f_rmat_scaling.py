@@ -1,0 +1,37 @@
+"""Fig. 14f: PR throughput across the five RMAT scaling graphs.
+
+Paper: GraphDynS throughput declines slightly at the largest scales once
+graphs must be sliced (each slice re-reads the active vertices);
+Graphicionado declines more gradually because its eDRAM caches twice the
+temporary properties, so slicing starts one scale later.  Both systems
+"scale well" overall, and GraphDynS stays faster throughout.
+"""
+
+from conftest import run_once
+
+from repro.harness import figure14f
+
+
+def test_fig14f_rmat_scaling(benchmark):
+    result = run_once(benchmark, figure14f)
+    print()
+    print(result.render())
+
+    gds = [row[3] for row in result.rows]
+    gio = [row[4] for row in result.rows]
+    gds_slices = [row[5] for row in result.rows]
+    gio_slices = [row[6] for row in result.rows]
+
+    # GraphDynS faster than Graphicionado at every scale.
+    assert all(a > b for a, b in zip(gds, gio))
+    # Slicing kicks in as graphs grow, and later for Graphicionado.
+    assert gds_slices[-1] > gds_slices[0]
+    assert gds_slices[-1] >= 2 * gio_slices[-1] / 2  # GIO never slices more
+    assert all(g <= d for g, d in zip(gio_slices, gds_slices))
+    # GraphDynS declines from its unsliced peak at the deepest slicing.
+    unsliced_peak = max(
+        t for t, s in zip(gds, gds_slices) if s == min(gds_slices)
+    )
+    assert gds[-1] < unsliced_peak
+    # But still "scales well": the decline is bounded.
+    assert gds[-1] > 0.4 * unsliced_peak

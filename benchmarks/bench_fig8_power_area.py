@@ -1,0 +1,35 @@
+"""Fig. 8: power and area breakdown of GraphDynS.
+
+Paper: 3.38 W and 12.08 mm^2 total; Dispatcher+Prefetcher cost ~5% power
+and ~2% area; Processor 59% power / 8% area; Updater 36% power / 90% area
+(its 32 MB eDRAM plus the crossbar).  GraphDynS uses 68% of
+Graphicionado's power and 57% of its area.
+"""
+
+import pytest
+from conftest import run_once
+
+from repro.energy import GRAPHDYNS_BUDGET, GRAPHICIONADO_BUDGET
+from repro.harness import figure8
+
+
+def test_fig8_power_area(benchmark):
+    result = run_once(benchmark, figure8)
+    print()
+    print(result.render())
+
+    rows = {row[0]: row for row in result.rows}
+    assert rows["TOTAL"][1] == pytest.approx(3.38)
+    assert rows["TOTAL"][3] == pytest.approx(12.08)
+    assert rows["Processor"][2] == pytest.approx(59.0)
+    assert rows["Updater"][4] == pytest.approx(89.5)
+    assert rows["Dispatcher"][2] + rows["Prefetcher"][2] == pytest.approx(5.0)
+
+    assert (
+        GRAPHDYNS_BUDGET.total_power_w / GRAPHICIONADO_BUDGET.total_power_w
+        == pytest.approx(0.68)
+    )
+    assert (
+        GRAPHDYNS_BUDGET.total_area_mm2 / GRAPHICIONADO_BUDGET.total_area_mm2
+        == pytest.approx(0.57)
+    )

@@ -1,0 +1,19 @@
+"""Table 1: which system alleviates which irregularity.
+
+Paper: GPU solutions need expensive preprocessing for all three;
+Graphicionado solves traversal (partially) only; GraphDynS solves all.
+"""
+
+from conftest import run_once
+
+from repro.harness import table1
+
+
+def test_table1_coverage(benchmark):
+    result = run_once(benchmark, table1)
+    print()
+    print(result.render())
+    rows = {row[0]: row for row in result.rows}
+    assert all("solved" in rows[k][3] for k in ("Workload", "Traversal", "Update"))
+    assert "unsolved" in rows["Workload"][2]
+    assert "unsolved" in rows["Update"][2]

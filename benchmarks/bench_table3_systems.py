@@ -1,0 +1,21 @@
+"""Table 3: system configurations of GraphDynS and the two baselines."""
+
+from conftest import run_once
+
+from repro.graphdyns.config import DEFAULT_CONFIG
+from repro.graphicionado.config import GRAPHICIONADO_CONFIG
+from repro.gpu.config import V100_GUNROCK
+from repro.harness import table3
+
+
+def test_table3_systems(benchmark):
+    result = run_once(benchmark, table3)
+    print()
+    print(result.render())
+    # Table 3 invariants.
+    assert DEFAULT_CONFIG.total_lanes == 128
+    assert DEFAULT_CONFIG.vb_total_bytes == 32 * 1024 * 1024
+    assert GRAPHICIONADO_CONFIG.edram_bytes == 64 * 1024 * 1024
+    assert GRAPHICIONADO_CONFIG.num_streams == 128
+    assert V100_GUNROCK.num_cores == 5120
+    assert DEFAULT_CONFIG.hbm.peak_bytes_per_cycle == 512.0

@@ -1,0 +1,33 @@
+"""Per-region traffic breakdown (the Fig. 12 discussion, quantified).
+
+Paper narrative points checked:
+* GraphDynS "accesses offset array additionally in each iteration" yet
+  still moves the least data overall;
+* Graphicionado's edge traffic exceeds GraphDynS's (src_vid: the paper
+  measures 1.65x);
+* Gunrock's destination-property gathers (sector-granular) plus its
+  preprocessing metadata dominate its total.
+"""
+
+from conftest import run_once
+
+from repro.harness.figures import traffic_breakdown
+
+
+def test_traffic_breakdown(benchmark, suite):
+    result = run_once(benchmark, lambda: traffic_breakdown(suite, "SSSP", "LJ"))
+    print()
+    print(result.render())
+
+    rows = {row[0]: row[1:] for row in result.rows}
+    gun, gio, gds = range(3)
+
+    # GraphDynS pays offset traffic the others avoid or amortize...
+    assert rows["offset"][gds] > 0
+    # ...but wins on edges (no src_vid, exact prefetch; paper: 1.65x).
+    assert 1.3 < rows["edge"][gio] / rows["edge"][gds] < 2.0
+    # Gunrock's gathers + metadata dwarf everything.
+    gather_and_meta = rows["temp_prop"][gun] + rows["metadata"][gun]
+    assert gather_and_meta > rows["TOTAL"][gds]
+    # Totals reproduce the Fig. 12 ordering.
+    assert rows["TOTAL"][gds] < rows["TOTAL"][gio] < rows["TOTAL"][gun]

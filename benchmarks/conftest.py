@@ -1,0 +1,26 @@
+"""Shared state for the benchmark harness.
+
+One :class:`~repro.harness.experiments.ExperimentSuite` is shared by every
+benchmark in the session so the 5-algorithm x 6-graph matrix is executed
+once; individual benchmarks then regenerate their table/figure from the
+memoized cells.  Each benchmark prints the reproduced rows so `pytest
+benchmarks/ --benchmark-only -s` doubles as the paper-reproduction report.
+"""
+
+import pytest
+
+from repro.harness import ExperimentSuite
+
+
+@pytest.fixture(scope="session")
+def suite() -> ExperimentSuite:
+    return ExperimentSuite()
+
+
+def run_once(benchmark, fn):
+    """Benchmark a regenerator with a single timed round.
+
+    Figure regenerators run full accelerator models (seconds to minutes);
+    statistical repetition would add nothing but wall-clock.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

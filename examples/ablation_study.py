@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Ablation: switch GraphDynS's four optimizations on one at a time.
+
+Reproduces the methodology of Fig. 14c on any dataset: start from a
+Graphicionado-like baseline and add Workload Balancing, Exact Prefetching,
+Atomic Optimization, and Update Scheduling cumulatively, printing each
+step's speedup and traffic.
+
+    python examples/ablation_study.py [GRAPH]
+"""
+
+import sys
+
+from repro.graph import datasets
+from repro.graphdyns import GraphDynSTimingModel
+from repro.graphdyns.config import DEFAULT_CONFIG
+from repro.graphicionado import GraphicionadoTimingModel
+from repro.harness import render_table
+from repro.harness.figures import ABLATION_STEPS
+from repro.vcpm import algorithm_names, get_algorithm, run_vcpm
+
+
+def main() -> None:
+    graph_key = sys.argv[1] if len(sys.argv) > 1 else "LJ"
+    graph = datasets.load(graph_key)
+    print(f"ablation on {graph_key} proxy "
+          f"(V={graph.num_vertices:,} E={graph.num_edges:,})\n")
+
+    for algorithm in algorithm_names():
+        spec = get_algorithm(algorithm)
+        baseline = GraphicionadoTimingModel(graph, spec)
+        steps = {
+            label: GraphDynSTimingModel(
+                graph, spec, DEFAULT_CONFIG.with_ablation(**switches)
+            )
+            for label, switches in ABLATION_STEPS
+        }
+        run_vcpm(
+            graph, spec, source=0, observers=[baseline, *steps.values()]
+        )
+        base_report = baseline.report()
+        rows = [
+            [
+                "Graphicionado", 1.0,
+                base_report.total_traffic_bytes / 1e6,
+                base_report.stall_cycles,
+            ]
+        ]
+        for label, _ in ABLATION_STEPS:
+            report = steps[label].report()
+            rows.append(
+                [
+                    label,
+                    report.speedup_over(base_report),
+                    report.total_traffic_bytes / 1e6,
+                    report.stall_cycles,
+                ]
+            )
+        print(
+            render_table(
+                ["config", "speedup", "traffic_MB", "stall_cycles"],
+                rows,
+                title=f"{algorithm}",
+            )
+        )
+        print()
+
+
+if __name__ == "__main__":
+    main()

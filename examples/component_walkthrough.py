@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Walk one BFS iteration through the explicit hardware components.
+
+Shows the Fig. 3 datapath stage by stage on a tiny graph: active-vertex
+records -> Dispatcher workloads -> Prefetcher plan / EPB layout ->
+Processor edge results -> crossbar -> Updating Elements (zero-stall reduce,
+bitmap, coalesced activation), then validates the full run against the
+vectorized engine.
+
+    python examples/component_walkthrough.py
+"""
+
+import numpy as np
+
+from repro import GraphDynS, get_algorithm, power_law_graph
+from repro.graphdyns import Dispatcher, Prefetcher, Processor, Updater
+from repro.vcpm import run_vcpm
+from repro.vcpm.optimized import dispatch_scatter
+
+
+def main() -> None:
+    graph = power_law_graph(64, 320, seed=7, name="walkthrough")
+    spec = get_algorithm("BFS")
+    source = 0
+
+    prop = spec.initial_prop(graph.num_vertices, source)
+    active = np.asarray([source], dtype=np.int64)
+
+    # S1: the Apply phase of the previous iteration produced
+    # (prop, offset, edgeCnt) records -- the decoupled datapath's currency.
+    records = dispatch_scatter(prop, graph.offsets, active)
+    print(f"active vertex records: {records}")
+
+    # S2: the Dispatcher balances edge workloads across the 16 PEs.
+    dispatcher = Dispatcher()
+    workloads = dispatcher.dispatch_scatter(records)
+    print(f"dispatched {len(workloads)} workload(s): {workloads[:4]}")
+    print(f"per-PE edge loads: {dispatcher.pe_loads(workloads).tolist()}")
+
+    # The Prefetcher turns the same records into exact access patterns.
+    prefetcher = Prefetcher()
+    plan = prefetcher.plan(records, weighted=spec.uses_weights)
+    for pattern in plan.patterns:
+        print(f"prefetch: {pattern.region.value:14s} "
+              f"{pattern.total_bytes:5d} B in runs of {pattern.run_bytes:.0f} B")
+
+    # S3/S4: PEs execute Process_Edge over the EPB contents.
+    processor = Processor(spec)
+    results = processor.process_scatter(graph, workloads)
+    print(f"edge results (dst, value): "
+          f"{[(r.dst, r.value) for r in results[:8]]} ...")
+
+    # S5: the crossbar routes results to UEs; Reduce Pipelines fold them
+    # with zero stalls; the bitmap records ready-to-update vertices.
+    updater = Updater(graph.num_vertices, spec)
+    modified = updater.scatter_update(results)
+    print(f"modified vertices (bitmap marks): {modified.tolist()}")
+    print(f"bitmap blocks set: {updater.bitmap.blocks_set}")
+
+    # Full-run validation: component path == vectorized engine, bit for bit.
+    accelerator = GraphDynS()
+    component = accelerator.run_component_level(graph, spec, source=source)
+    functional = run_vcpm(graph, spec, source=source)
+    assert np.array_equal(component.properties, functional.properties)
+    print(f"\nfull component-level run matches the vectorized engine "
+          f"({component.num_iterations} iterations, "
+          f"{component.edges_processed} edges).")
+
+
+if __name__ == "__main__":
+    main()

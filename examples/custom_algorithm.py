@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Define and run a custom algorithm on GraphDynS.
+
+The public extension point is :class:`repro.vcpm.AlgorithmSpec`: provide a
+``Process_Edge``, pick a ``Reduce`` (one of MIN/MAX/SUM -- the single-
+instruction folds the zero-stall Reduce Pipeline supports), and an
+``Apply``.  Here we build *k-hop domination*: how many vertices each vertex
+can reach within k hops, approximated by k rounds of frontier counting.
+
+    python examples/custom_algorithm.py
+"""
+
+import numpy as np
+
+from repro import GraphDynS, power_law_graph
+from repro.vcpm import AlgorithmSpec, ReduceOp, run_vcpm
+
+
+def make_khop_reach(k: int) -> AlgorithmSpec:
+    """Reach-within-k-hops indicator from a source (k frontier rounds).
+
+    Property: the hop at which the vertex was first reached (like BFS),
+    but capped at k iterations, so ``isfinite(prop)`` marks the k-hop
+    neighbourhood.
+    """
+    return AlgorithmSpec(
+        name=f"REACH{k}",
+        process_edge=lambda u_prop, weight: u_prop + 1.0,
+        reduce_op=ReduceOp.MIN,
+        apply=lambda prop, t_prop, c_prop: np.minimum(prop, t_prop),
+        initial_prop=lambda n, source: _source_init(n, source),
+        uses_weights=False,
+        default_max_iterations=k,
+    )
+
+
+def _source_init(num_vertices: int, source):
+    prop = np.full(num_vertices, np.inf)
+    if source is not None:
+        prop[source] = 0.0
+    return prop
+
+
+def main() -> None:
+    graph = power_law_graph(20_000, 240_000, seed=9, name="custom")
+    accelerator = GraphDynS()
+
+    print(f"graph: {graph}\n")
+    print("k-hop neighbourhood growth from vertex 0 (modeled on GraphDynS):")
+    for k in (1, 2, 3, 4, 5):
+        spec = make_khop_reach(k)
+        result, report = accelerator.run(graph, spec, source=0)
+        reached = int(np.isfinite(result.properties).sum())
+        print(
+            f"  k={k}: {reached:6d} vertices reached | "
+            f"{report.cycles:9,.0f} cycles | {report.gteps:5.1f} GTEPS"
+        )
+
+    # The functional engine alone also runs custom specs (no hardware
+    # model), e.g. for algorithm prototyping:
+    spec = make_khop_reach(3)
+    result = run_vcpm(graph, spec, source=0)
+    print(
+        f"\nfunctional-only 3-hop run: {result.num_iterations} iterations, "
+        f"{result.total_edges_processed:,} edges processed"
+    )
+
+
+if __name__ == "__main__":
+    main()

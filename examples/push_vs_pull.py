@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Push vs pull execution of the same algorithms.
+
+GraphDynS is push-based; GPU PageRank is typically pull-based.  Both reach
+the same fixpoints but do different amounts of edge work -- push touches
+only active out-edges, pull re-gathers every in-edge each iteration.  This
+example runs both modes and shows where each wins.
+
+    python examples/push_vs_pull.py [GRAPH]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.graph import datasets
+from repro.harness import render_table
+from repro.vcpm import ALGORITHMS, run_vcpm, run_vcpm_pull
+
+
+def main() -> None:
+    graph_key = sys.argv[1] if len(sys.argv) > 1 else "FR"
+    graph = datasets.load(graph_key)
+    print(f"{graph_key} proxy: V={graph.num_vertices:,} E={graph.num_edges:,}\n")
+
+    rows = []
+    for name in ("BFS", "SSSP", "CC", "SSWP", "PR"):
+        spec = ALGORITHMS[name]
+        kwargs = (
+            dict(max_iterations=10, pr_tolerance=0.0) if name == "PR" else {}
+        )
+        push = run_vcpm(graph, spec, source=0, **kwargs)
+        pull = run_vcpm_pull(graph, spec, source=0, **kwargs)
+        same = np.allclose(
+            np.nan_to_num(push.properties, posinf=1e30, neginf=-1e30),
+            np.nan_to_num(pull.properties, posinf=1e30, neginf=-1e30),
+        )
+        rows.append(
+            [
+                name,
+                push.num_iterations,
+                pull.num_iterations,
+                push.total_edges_processed,
+                pull.total_edges_processed,
+                f"{pull.total_edges_processed / max(push.total_edges_processed, 1):.2f}x",
+                "yes" if same else "NO",
+            ]
+        )
+    print(
+        render_table(
+            [
+                "algo", "push_iters", "pull_iters",
+                "push_edges", "pull_edges", "pull_overhead", "same_result",
+            ],
+            rows,
+        )
+    )
+    print(
+        "\nPush wins when frontiers are sparse (BFS/SSSP tails); pull's"
+        "\natomic-free gathers only pay off for dense, all-active"
+        "\nalgorithms like PageRank -- which is why GraphDynS removes the"
+        "\natomic cost instead (zero-stall Reduce Pipeline) and stays"
+        "\npush-based."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Scaling studies with terminal plots: UEs, bandwidth, graph size.
+
+Reproduces the Section 7.2 scalability analysis interactively:
+
+* performance vs Updating Element count (Fig. 14e) -- PR and CC are
+  UE-bound, the frontier algorithms are not;
+* performance vs HBM bandwidth -- why 512 GB/s suffices;
+* PR throughput vs RMAT scale (Fig. 14f) -- where slicing bends the curve.
+
+    python examples/scaling_study.py
+"""
+
+from repro.harness import figure14e, figure14f, line_series, sweep_bandwidth
+
+
+def main() -> None:
+    print("=== Performance vs #UEs (Fig. 14e, % of 128-UE config) ===\n")
+    ue_result = figure14e("LJ")
+    x_labels = ue_result.headers[1:]
+    series = {row[0]: [float(v) for v in row[1:]] for row in ue_result.rows}
+    print(line_series(x_labels, series, height=10))
+
+    print("\n=== GraphDynS PR throughput vs HBM bandwidth ===\n")
+    bw_result = sweep_bandwidth("LJ", "PR")
+    print(bw_result.render())
+    series = {"GTEPS": [float(row[1]) for row in bw_result.rows]}
+    print()
+    print(
+        line_series(
+            [str(row[0]) for row in bw_result.rows], series, height=8
+        )
+    )
+
+    print("\n=== PR throughput over RMAT scaling (Fig. 14f) ===\n")
+    rmat_result = figure14f()
+    print(rmat_result.render())
+    series = {
+        "GraphDynS": [float(row[3]) for row in rmat_result.rows],
+        "Xicionado": [float(row[4]) for row in rmat_result.rows],
+    }
+    print()
+    print(
+        line_series(
+            [row[0] for row in rmat_result.rows], series, height=10
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

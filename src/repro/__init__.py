@@ -1,0 +1,44 @@
+"""GraphDynS reproduction (MICRO 2019).
+
+A hardware/software co-design model for graph-analytics acceleration:
+decoupled datapath + data-aware dynamic scheduling, with Graphicionado and
+Gunrock-on-V100 baselines, reproducing the paper's full evaluation.
+
+Quick start::
+
+    from repro import GraphDynS, get_algorithm, load_dataset
+
+    graph = load_dataset("LJ")
+    result, report = GraphDynS().run(graph, get_algorithm("SSSP"), source=0)
+    print(report.gteps, "GTEPS")
+"""
+
+from .graph.csr import CSRGraph
+from .graph.datasets import load as load_dataset
+from .graph.generators import power_law_graph, rmat_graph
+from .graphdyns.accelerator import GraphDynS
+from .graphdyns.config import GraphDynSConfig
+from .graphicionado.accelerator import Graphicionado
+from .gpu.gunrock import Gunrock
+from .metrics.counters import RunReport
+from .vcpm.algorithms import ALGORITHMS, algorithm_names, get_algorithm
+from .vcpm.engine import run_vcpm
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CSRGraph",
+    "load_dataset",
+    "power_law_graph",
+    "rmat_graph",
+    "GraphDynS",
+    "GraphDynSConfig",
+    "Graphicionado",
+    "Gunrock",
+    "RunReport",
+    "ALGORITHMS",
+    "algorithm_names",
+    "get_algorithm",
+    "run_vcpm",
+    "__version__",
+]

@@ -1,0 +1,237 @@
+"""Command-line interface.
+
+::
+
+    python -m repro run --graph LJ --algo SSSP --system graphdyns
+    python -m repro compare --graph HO --algo PR
+    python -m repro figure fig6 fig7
+    python -m repro report -o EXPERIMENTS.md
+    python -m repro datasets
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional
+
+from .energy.model import (
+    gpu_energy_report,
+    graphdyns_energy,
+    graphicionado_energy,
+)
+from .gpu.config import V100_GUNROCK
+from .gpu.gunrock import Gunrock
+from .graph import datasets
+from .graphdyns.accelerator import GraphDynS
+from .graphicionado.accelerator import Graphicionado
+from .harness import experiments, figures, tables
+from .harness.io import render_table
+from .vcpm.algorithms import algorithm_names
+
+__all__ = ["main", "build_parser"]
+
+_SYSTEMS = {
+    "graphdyns": GraphDynS,
+    "graphicionado": Graphicionado,
+    "gunrock": Gunrock,
+}
+
+_FIGURES: Dict[str, Callable[[], "figures.FigureResult"]] = {
+    "table1": tables.table1,
+    "table2": tables.table2,
+    "table3": tables.table3,
+    "table4": tables.table4,
+    "fig2": figures.figure2,
+    "fig6": figures.figure6,
+    "fig7": figures.figure7,
+    "fig8": figures.figure8,
+    "fig9": figures.figure9,
+    "fig10": figures.figure10,
+    "fig11": figures.figure11,
+    "fig12": figures.figure12,
+    "fig13": figures.figure13,
+    "fig14a": figures.figure14a,
+    "fig14b": figures.figure14b,
+    "fig14c": figures.figure14c,
+    "fig14d": figures.figure14d,
+    "fig14e": figures.figure14e,
+    "fig14f": figures.figure14f,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="GraphDynS (MICRO 2019) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run one algorithm on one system")
+    run.add_argument("--graph", default="LJ", help="Table 4 dataset key")
+    run.add_argument(
+        "--algo", default="SSSP", choices=algorithm_names(), help="algorithm"
+    )
+    run.add_argument(
+        "--system",
+        default="graphdyns",
+        choices=sorted(_SYSTEMS),
+        help="which accelerator model",
+    )
+    run.add_argument("--source", type=int, default=0, help="source vertex")
+
+    compare = sub.add_parser("compare", help="run all three systems")
+    compare.add_argument("--graph", default="LJ")
+    compare.add_argument("--algo", default="SSSP", choices=algorithm_names())
+
+    figure = sub.add_parser("figure", help="regenerate paper figures/tables")
+    figure.add_argument(
+        "names",
+        nargs="+",
+        choices=sorted(_FIGURES) + ["all"],
+        help="artifacts to regenerate",
+    )
+
+    report = sub.add_parser(
+        "report", help="regenerate EXPERIMENTS.md (slow: full evaluation)"
+    )
+    report.add_argument("-o", "--output", default="EXPERIMENTS.md")
+
+    sub.add_parser("datasets", help="list the Table 4 proxies")
+
+    validate = sub.add_parser(
+        "validate",
+        help="self-check: all execution engines agree on random graphs",
+    )
+    validate.add_argument("--seeds", type=int, default=3)
+    validate.add_argument("--vertices", type=int, default=200)
+    validate.add_argument("--edges", type=int, default=1000)
+
+    return parser
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    graph = datasets.load(args.graph)
+    accelerator = _SYSTEMS[args.system]()
+    from .vcpm.algorithms import get_algorithm
+
+    result, report = accelerator.run(
+        graph, get_algorithm(args.algo), source=args.source
+    )
+    print(
+        render_table(
+            ["metric", "value"],
+            [
+                ["system", report.system],
+                ["graph", f"{args.graph} (V={graph.num_vertices:,}, E={graph.num_edges:,})"],
+                ["iterations", report.iterations],
+                ["converged", result.converged],
+                ["modeled cycles", f"{report.cycles:,.0f}"],
+                ["time (us)", f"{report.seconds * 1e6:.1f}"],
+                ["GTEPS", f"{report.gteps:.2f}"],
+                ["bandwidth util", f"{report.bandwidth_utilization:.0%}"],
+                ["traffic (MB)", f"{report.total_traffic_bytes / 1e6:.2f}"],
+            ],
+            title=f"{args.algo} on {args.graph} ({args.system})",
+        )
+    )
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    graph = datasets.load(args.graph)
+    cell = experiments.run_cell(graph, args.algo, args.graph)
+    gunrock = cell.reports["Gunrock"]
+    rows = []
+    for system in ("Gunrock", "Graphicionado", "GraphDynS"):
+        report = cell.reports[system]
+        energy = cell.energy[system]
+        rows.append(
+            [
+                system,
+                f"{report.gteps:.1f}",
+                f"{report.speedup_over(gunrock):.2f}x",
+                f"{report.total_traffic_bytes / 1e6:.1f}",
+                f"{energy.total_j * 1e3:.2f}",
+            ]
+        )
+    print(
+        render_table(
+            ["system", "GTEPS", "speedup", "traffic_MB", "energy_mJ"],
+            rows,
+            title=f"{args.algo} on {args.graph}",
+        )
+    )
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    names: List[str] = (
+        sorted(_FIGURES) if "all" in args.names else args.names
+    )
+    suite = experiments.ExperimentSuite()
+    for name in names:
+        fn = _FIGURES[name]
+        try:
+            result = fn(suite)  # type: ignore[call-arg]
+        except TypeError:
+            result = fn()
+        print(result.render())
+        print()
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .harness.report import generate_experiments_md
+
+    content = generate_experiments_md()
+    with open(args.output, "w") as handle:
+        handle.write(content)
+    print(f"wrote {args.output} ({len(content.splitlines())} lines)")
+    return 0
+
+
+def _cmd_datasets(_: argparse.Namespace) -> int:
+    print(tables.table4().render())
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from .harness.validation import validate_all
+
+    outcomes = validate_all(
+        seeds=args.seeds, vertices=args.vertices, edges=args.edges
+    )
+    failures = [o for o in outcomes if not o.agreed]
+    rows = [
+        [o.graph_name, o.algorithm, o.engines_checked,
+         "ok" if o.agreed else f"FAIL: {o.detail}"]
+        for o in outcomes
+    ]
+    print(
+        render_table(
+            ["graph", "algo", "engines", "status"],
+            rows,
+            title="cross-engine validation",
+        )
+    )
+    print(f"\n{len(outcomes) - len(failures)}/{len(outcomes)} checks passed")
+    return 1 if failures else 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "run": _cmd_run,
+        "compare": _cmd_compare,
+        "figure": _cmd_figure,
+        "report": _cmd_report,
+        "datasets": _cmd_datasets,
+        "validate": _cmd_validate,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

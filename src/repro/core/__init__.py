@@ -1,0 +1,52 @@
+"""GraphDynS core contribution: data-aware dynamic scheduling components."""
+
+from .scheduling import (
+    DispatchOutcome,
+    balanced_dispatch,
+    hash_dispatch,
+    per_vertex_dispatch_ops,
+)
+from .vectorize import VectorizationStats, simt_issue_slots, vectorize_workloads
+from .prefetch import (
+    ACTIVE_RECORD_BYTES,
+    EDGE_BYTES_EXACT,
+    EDGE_BYTES_WITH_SRC,
+    PrefetchPlan,
+    coalesced_run_lengths,
+    plan_baseline_fetch,
+    plan_exact_prefetch,
+)
+from .reduce_pipeline import (
+    ReduceResult,
+    StallingReducePipeline,
+    ZeroStallReducePipeline,
+    count_raw_conflicts,
+)
+from .update_bitmap import BitmapStats, ReadyToUpdateBitmap
+from .coalesce import ActivationCoalescer, CoalesceStats, coalesced_store_bursts
+
+__all__ = [
+    "DispatchOutcome",
+    "balanced_dispatch",
+    "hash_dispatch",
+    "per_vertex_dispatch_ops",
+    "VectorizationStats",
+    "simt_issue_slots",
+    "vectorize_workloads",
+    "ACTIVE_RECORD_BYTES",
+    "EDGE_BYTES_EXACT",
+    "EDGE_BYTES_WITH_SRC",
+    "PrefetchPlan",
+    "coalesced_run_lengths",
+    "plan_baseline_fetch",
+    "plan_exact_prefetch",
+    "ReduceResult",
+    "StallingReducePipeline",
+    "ZeroStallReducePipeline",
+    "count_raw_conflicts",
+    "BitmapStats",
+    "ReadyToUpdateBitmap",
+    "CoalesceStats",
+    "ActivationCoalescer",
+    "coalesced_store_bursts",
+]

@@ -1,0 +1,27 @@
+"""Energy and area models (Figs. 8-10)."""
+
+from .components import (
+    GRAPHDYNS_BUDGET,
+    GRAPHICIONADO_BUDGET,
+    HBM_PJ_PER_BIT,
+    ComponentBudget,
+)
+from .model import (
+    EnergyReport,
+    energy_report,
+    gpu_energy_report,
+    graphdyns_energy,
+    graphicionado_energy,
+)
+
+__all__ = [
+    "GRAPHDYNS_BUDGET",
+    "GRAPHICIONADO_BUDGET",
+    "HBM_PJ_PER_BIT",
+    "ComponentBudget",
+    "EnergyReport",
+    "energy_report",
+    "gpu_energy_report",
+    "graphdyns_energy",
+    "graphicionado_energy",
+]

@@ -1,0 +1,110 @@
+"""Energy integration (Figs. 9 and 10).
+
+The paper's methodology: chip energy = synthesized module power x modeled
+execution time; memory energy = 7 pJ/bit x HBM traffic.  Fig. 10 shows the
+result -- ~92% of GraphDynS energy is HBM, because graph analytics has an
+"extremely low computation-to-communication ratio".
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict
+
+from ..metrics.counters import RunReport
+from .components import (
+    GRAPHDYNS_BUDGET,
+    GRAPHICIONADO_BUDGET,
+    HBM_PJ_PER_BIT,
+    ComponentBudget,
+)
+
+__all__ = ["EnergyReport", "energy_report", "gpu_energy_report"]
+
+
+@dataclasses.dataclass(frozen=True)
+class EnergyReport:
+    """Joule-level outcome of one run."""
+
+    system: str
+    algorithm: str
+    graph_name: str
+    chip_energy_j: float
+    hbm_energy_j: float
+    component_energy_j: Dict[str, float]
+
+    @property
+    def total_j(self) -> float:
+        return self.chip_energy_j + self.hbm_energy_j
+
+    @property
+    def hbm_fraction(self) -> float:
+        """HBM share of total energy (the ~92% of Fig. 10)."""
+        total = self.total_j
+        if total <= 0:
+            return 0.0
+        return self.hbm_energy_j / total
+
+    def breakdown(self) -> Dict[str, float]:
+        """Component -> fraction of total energy (Fig. 10's bars)."""
+        total = self.total_j
+        if total <= 0:
+            return {}
+        shares = {
+            name: energy / total
+            for name, energy in self.component_energy_j.items()
+        }
+        shares["HBM"] = self.hbm_fraction
+        return shares
+
+    def normalized_to(self, baseline: "EnergyReport") -> float:
+        """This run's energy as a fraction of ``baseline``'s (Fig. 9)."""
+        if baseline.total_j <= 0:
+            return 0.0
+        return self.total_j / baseline.total_j
+
+
+def energy_report(
+    report: RunReport, budget: ComponentBudget
+) -> EnergyReport:
+    """Energy of an accelerator run from its RunReport and power budget."""
+    seconds = report.seconds
+    chip = budget.total_power_w * seconds
+    per_component = {
+        name: budget.power_of(name) * seconds
+        for name in budget.power_shares
+    }
+    hbm = report.total_traffic_bytes * 8 * HBM_PJ_PER_BIT * 1e-12
+    return EnergyReport(
+        system=report.system,
+        algorithm=report.algorithm,
+        graph_name=report.graph_name,
+        chip_energy_j=chip,
+        hbm_energy_j=hbm,
+        component_energy_j=per_component,
+    )
+
+
+def gpu_energy_report(report: RunReport, average_power_w: float) -> EnergyReport:
+    """Energy of a GPU run: board power x time + HBM2 traffic energy."""
+    seconds = report.seconds
+    chip = average_power_w * seconds
+    hbm = report.total_traffic_bytes * 8 * HBM_PJ_PER_BIT * 1e-12
+    return EnergyReport(
+        system=report.system,
+        algorithm=report.algorithm,
+        graph_name=report.graph_name,
+        chip_energy_j=chip,
+        hbm_energy_j=hbm,
+        component_energy_j={"GPU": chip},
+    )
+
+
+def graphdyns_energy(report: RunReport) -> EnergyReport:
+    """Convenience wrapper with the Fig. 8 budget."""
+    return energy_report(report, GRAPHDYNS_BUDGET)
+
+
+def graphicionado_energy(report: RunReport) -> EnergyReport:
+    """Convenience wrapper with the derived Graphicionado budget."""
+    return energy_report(report, GRAPHICIONADO_BUDGET)

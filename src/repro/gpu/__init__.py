@@ -1,0 +1,14 @@
+"""GPU (Gunrock on V100) baseline model."""
+
+from .config import GPUConfig, V100_GUNROCK
+from .warp import WarpStats, warp_divergence
+from .gunrock import Gunrock, GunrockTimingModel
+
+__all__ = [
+    "GPUConfig",
+    "V100_GUNROCK",
+    "WarpStats",
+    "warp_divergence",
+    "Gunrock",
+    "GunrockTimingModel",
+]

@@ -1,0 +1,68 @@
+"""Graph substrate: CSR storage, generators, Table 4 dataset proxies."""
+
+from .csr import CSRGraph, GraphError
+from .generators import (
+    chain_graph,
+    complete_graph,
+    grid_graph,
+    power_law_graph,
+    rmat_graph,
+    star_graph,
+    uniform_random_graph,
+)
+from .datasets import DATASETS, REAL_WORLD, RMAT_SCALING, DatasetSpec, load
+from .properties import (
+    DEGREE_INTERVALS,
+    cacheline_locality,
+    degree_histogram,
+    degree_interval_counts,
+    gini_coefficient,
+    load_imbalance,
+    power_law_exponent_estimate,
+)
+from .slicing import Slice, SlicePlan, plan_slices
+from .builders import (
+    TransformCost,
+    deduplicate,
+    from_adjacency,
+    relabel,
+    remove_self_loops,
+    sort_by_degree,
+    symmetrize,
+)
+from . import io
+
+__all__ = [
+    "CSRGraph",
+    "GraphError",
+    "rmat_graph",
+    "power_law_graph",
+    "uniform_random_graph",
+    "grid_graph",
+    "chain_graph",
+    "star_graph",
+    "complete_graph",
+    "DATASETS",
+    "REAL_WORLD",
+    "RMAT_SCALING",
+    "DatasetSpec",
+    "load",
+    "DEGREE_INTERVALS",
+    "degree_histogram",
+    "degree_interval_counts",
+    "gini_coefficient",
+    "load_imbalance",
+    "cacheline_locality",
+    "power_law_exponent_estimate",
+    "Slice",
+    "SlicePlan",
+    "plan_slices",
+    "TransformCost",
+    "deduplicate",
+    "from_adjacency",
+    "relabel",
+    "remove_self_loops",
+    "sort_by_degree",
+    "symmetrize",
+    "io",
+]

@@ -1,0 +1,265 @@
+"""Compressed Sparse Row (CSR) graph representation.
+
+The CSR format is the storage layout assumed throughout the GraphDynS paper
+(Section 2.1, Fig. 1): three one-dimensional arrays
+
+* ``offsets``   -- for each vertex, the index into ``edges`` where its
+  outgoing edge list starts.  ``offsets`` has ``num_vertices + 1`` entries so
+  that the edge list of vertex ``v`` is ``edges[offsets[v]:offsets[v + 1]]``.
+* ``edges``     -- destination vertex ids of every edge, grouped by source.
+* ``weights``   -- per-edge weights (parallel to ``edges``).
+
+Vertex property arrays are owned by the algorithm state, not by the graph.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable, Iterator, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["CSRGraph", "GraphError"]
+
+
+class GraphError(ValueError):
+    """Raised when a graph is structurally invalid."""
+
+
+@dataclasses.dataclass(frozen=True)
+class CSRGraph:
+    """An immutable directed graph in CSR format.
+
+    Attributes:
+        offsets: ``int64`` array of length ``num_vertices + 1``.
+        edges: ``int64`` array of destination ids, length ``num_edges``.
+        weights: ``float32`` array of edge weights, length ``num_edges``.
+        name: optional human-readable dataset name.
+    """
+
+    offsets: np.ndarray
+    edges: np.ndarray
+    weights: np.ndarray
+    name: str = "graph"
+
+    def __post_init__(self) -> None:
+        offsets = np.ascontiguousarray(self.offsets, dtype=np.int64)
+        edges = np.ascontiguousarray(self.edges, dtype=np.int64)
+        weights = np.ascontiguousarray(self.weights, dtype=np.float32)
+        object.__setattr__(self, "offsets", offsets)
+        object.__setattr__(self, "edges", edges)
+        object.__setattr__(self, "weights", weights)
+        self._validate()
+
+    def _validate(self) -> None:
+        if self.offsets.ndim != 1 or self.offsets.size < 1:
+            raise GraphError("offsets must be a 1-D array with >= 1 entry")
+        if self.offsets[0] != 0:
+            raise GraphError("offsets must start at 0")
+        if self.offsets[-1] != self.edges.size:
+            raise GraphError(
+                "offsets must end at num_edges "
+                f"(got {self.offsets[-1]}, expected {self.edges.size})"
+            )
+        if np.any(np.diff(self.offsets) < 0):
+            raise GraphError("offsets must be non-decreasing")
+        if self.weights.size != self.edges.size:
+            raise GraphError("weights must be parallel to edges")
+        if self.edges.size and (
+            self.edges.min() < 0 or self.edges.max() >= self.num_vertices
+        ):
+            raise GraphError("edge destination out of range")
+
+    # ------------------------------------------------------------------
+    # Basic shape
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices."""
+        return self.offsets.size - 1
+
+    @property
+    def num_edges(self) -> int:
+        """Number of directed edges."""
+        return self.edges.size
+
+    @property
+    def edge_to_vertex_ratio(self) -> float:
+        """Average out-degree (the paper calls this edge-to-vertex ratio)."""
+        if self.num_vertices == 0:
+            return 0.0
+        return self.num_edges / self.num_vertices
+
+    # ------------------------------------------------------------------
+    # Per-vertex access
+    # ------------------------------------------------------------------
+    def out_degree(self, vertex: Optional[int] = None) -> np.ndarray:
+        """Out-degree of one vertex, or the full degree array when omitted."""
+        degrees = np.diff(self.offsets)
+        if vertex is None:
+            return degrees
+        return degrees[vertex]
+
+    def neighbors(self, vertex: int) -> np.ndarray:
+        """Destination ids of ``vertex``'s outgoing edges."""
+        return self.edges[self.offsets[vertex]:self.offsets[vertex + 1]]
+
+    def edge_weights(self, vertex: int) -> np.ndarray:
+        """Weights of ``vertex``'s outgoing edges."""
+        return self.weights[self.offsets[vertex]:self.offsets[vertex + 1]]
+
+    def iter_edges(self) -> Iterator[Tuple[int, int, float]]:
+        """Yield ``(src, dst, weight)`` triples in CSR order."""
+        for src in range(self.num_vertices):
+            start, stop = self.offsets[src], self.offsets[src + 1]
+            for idx in range(start, stop):
+                yield src, int(self.edges[idx]), float(self.weights[idx])
+
+    def edge_sources(self) -> np.ndarray:
+        """Source vertex id of each edge (expanded from offsets).
+
+        This materializes the ``src_vid`` field that Graphicionado stores
+        with every edge (and GraphDynS deliberately omits).
+        """
+        if self.num_edges == 0:
+            return np.zeros(0, dtype=np.int64)
+        counts = np.diff(self.offsets)
+        return np.repeat(np.arange(self.num_vertices, dtype=np.int64), counts)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edge_list(
+        cls,
+        num_vertices: int,
+        edge_list: Sequence[Tuple[int, int]] | np.ndarray,
+        weights: Optional[Sequence[float] | np.ndarray] = None,
+        name: str = "graph",
+    ) -> "CSRGraph":
+        """Build a CSR graph from an ``(src, dst)`` edge list.
+
+        Edges are sorted by source (stable in destination order).  Duplicate
+        edges are retained; self-loops are retained.
+        """
+        if num_vertices < 0:
+            raise GraphError("num_vertices must be non-negative")
+        arr = np.asarray(edge_list, dtype=np.int64)
+        if arr.size == 0:
+            arr = arr.reshape(0, 2)
+        if arr.ndim != 2 or arr.shape[1] != 2:
+            raise GraphError("edge_list must be an (E, 2) array of (src, dst)")
+        src, dst = arr[:, 0], arr[:, 1]
+        if arr.shape[0]:
+            if src.min() < 0 or src.max() >= num_vertices:
+                raise GraphError("edge source out of range")
+            if dst.min() < 0 or dst.max() >= num_vertices:
+                raise GraphError("edge destination out of range")
+        if weights is None:
+            wts = np.ones(arr.shape[0], dtype=np.float32)
+        else:
+            wts = np.asarray(weights, dtype=np.float32)
+            if wts.shape != (arr.shape[0],):
+                raise GraphError("weights must be parallel to edge_list")
+        order = np.argsort(src, kind="stable")
+        src, dst, wts = src[order], dst[order], wts[order]
+        offsets = np.zeros(num_vertices + 1, dtype=np.int64)
+        np.add.at(offsets, src + 1, 1)
+        offsets = np.cumsum(offsets)
+        return cls(offsets=offsets, edges=dst, weights=wts, name=name)
+
+    @classmethod
+    def empty(cls, num_vertices: int = 0, name: str = "empty") -> "CSRGraph":
+        """A graph with ``num_vertices`` vertices and no edges."""
+        return cls(
+            offsets=np.zeros(num_vertices + 1, dtype=np.int64),
+            edges=np.zeros(0, dtype=np.int64),
+            weights=np.zeros(0, dtype=np.float32),
+            name=name,
+        )
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+    def reverse(self) -> "CSRGraph":
+        """The transpose graph (all edges reversed)."""
+        sources = self.edge_sources()
+        pairs = np.stack([self.edges, sources], axis=1)
+        return CSRGraph.from_edge_list(
+            self.num_vertices, pairs, self.weights, name=f"{self.name}^T"
+        )
+
+    def with_weights(self, weights: np.ndarray, name: Optional[str] = None) -> "CSRGraph":
+        """A copy of this graph with different edge weights."""
+        return CSRGraph(
+            offsets=self.offsets,
+            edges=self.edges,
+            weights=np.asarray(weights, dtype=np.float32),
+            name=name or self.name,
+        )
+
+    def with_random_integer_weights(
+        self, low: int = 0, high: int = 255, seed: int = 0
+    ) -> "CSRGraph":
+        """Assign uniform random integer weights in ``[low, high]``.
+
+        The paper assigns random integer weights between 0 and 255 to
+        unweighted real-world graphs (Section 6).
+        """
+        rng = np.random.default_rng(seed)
+        wts = rng.integers(low, high + 1, size=self.num_edges).astype(np.float32)
+        return self.with_weights(wts)
+
+    def subgraph_slice(self, vertex_lo: int, vertex_hi: int) -> "CSRGraph":
+        """Edges whose *destination* falls in ``[vertex_lo, vertex_hi)``.
+
+        Used by the slicing technique (Section 4.2.1): a slice keeps every
+        source vertex but only the edges that update the resident interval of
+        temporary vertex properties.
+        """
+        mask = (self.edges >= vertex_lo) & (self.edges < vertex_hi)
+        sources = self.edge_sources()[mask]
+        pairs = np.stack([sources, self.edges[mask]], axis=1)
+        return CSRGraph.from_edge_list(
+            self.num_vertices,
+            pairs,
+            self.weights[mask],
+            name=f"{self.name}[{vertex_lo}:{vertex_hi})",
+        )
+
+    # ------------------------------------------------------------------
+    # Storage accounting (used by the Fig. 11 experiment)
+    # ------------------------------------------------------------------
+    def storage_bytes(
+        self,
+        edge_bytes: int = 8,
+        offset_bytes: int = 8,
+        property_bytes: int = 4,
+        include_source_ids: bool = False,
+        metadata_factor: float = 0.0,
+    ) -> int:
+        """Bytes of off-chip storage this graph occupies at runtime.
+
+        Args:
+            edge_bytes: bytes per edge record (dst id + weight).
+            offset_bytes: bytes per offset entry.
+            property_bytes: bytes per vertex property value.
+            include_source_ids: add 4 bytes/edge for ``src_vid``
+                (Graphicionado's layout).
+            metadata_factor: extra storage as a multiple of the base graph
+                (Gunrock's preprocessing metadata is > 2x per the paper).
+        """
+        base = (
+            self.num_edges * edge_bytes
+            + (self.num_vertices + 1) * offset_bytes
+            + self.num_vertices * property_bytes * 2  # prop + tProp
+        )
+        if include_source_ids:
+            base += self.num_edges * 4
+        return int(base * (1.0 + metadata_factor))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CSRGraph(name={self.name!r}, V={self.num_vertices}, "
+            f"E={self.num_edges})"
+        )

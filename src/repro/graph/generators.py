@@ -1,0 +1,199 @@
+"""Synthetic graph generators.
+
+Two families matter for the paper's evaluation:
+
+* **RMAT** (Fig. 14f, Table 4): the Graph500 recursive-matrix generator.
+  The paper uses scales 22-26 with edge factor 16; we implement the same
+  generator and (per DESIGN.md) evaluate it at reduced scales.
+* **Power-law proxies** (Table 4 real-world graphs): a Chung-Lu style
+  generator that hits a target vertex count, edge count, and degree-skew, so
+  the scaled-down proxies show the same irregularity behaviour (degree
+  variance drives workload irregularity; frontier evolution drives update
+  irregularity).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .csr import CSRGraph
+
+__all__ = [
+    "rmat_graph",
+    "power_law_graph",
+    "uniform_random_graph",
+    "grid_graph",
+    "chain_graph",
+    "star_graph",
+    "complete_graph",
+]
+
+# Standard Graph500 RMAT partition probabilities.
+_RMAT_A, _RMAT_B, _RMAT_C, _RMAT_D = 0.57, 0.19, 0.19, 0.05
+
+
+def rmat_graph(
+    scale: int,
+    edge_factor: int = 16,
+    a: float = _RMAT_A,
+    b: float = _RMAT_B,
+    c: float = _RMAT_C,
+    seed: int = 0,
+    name: Optional[str] = None,
+) -> CSRGraph:
+    """Generate an RMAT graph with ``2**scale`` vertices.
+
+    Follows the Graph500 reference generator: each edge picks a quadrant of
+    the adjacency matrix recursively, with per-level probability noise.
+    Weights are uniform integers in [0, 255] like the paper's setup.
+
+    Args:
+        scale: log2 of the vertex count.
+        edge_factor: edges per vertex (Graph500 uses 16).
+        a, b, c: RMAT quadrant probabilities (d is the remainder).
+        seed: RNG seed for reproducibility.
+        name: dataset name; defaults to ``RMAT<scale>``.
+    """
+    if scale < 1:
+        raise ValueError("scale must be >= 1")
+    d = 1.0 - a - b - c
+    if d < 0:
+        raise ValueError("RMAT probabilities must sum to <= 1")
+    rng = np.random.default_rng(seed)
+    num_vertices = 1 << scale
+    num_edges = num_vertices * edge_factor
+
+    src = np.zeros(num_edges, dtype=np.int64)
+    dst = np.zeros(num_edges, dtype=np.int64)
+    ab = a + b
+    a_norm = a / (a + c) if (a + c) else 0.5
+    for level in range(scale):
+        bit = 1 << (scale - 1 - level)
+        # Add noise per level as in the Graph500 generator.
+        r_row = rng.random(num_edges)
+        r_col = rng.random(num_edges)
+        row_bit = r_row > ab
+        # Column probability depends on which row half was chosen.
+        p_col = np.where(row_bit, c / (c + d) if (c + d) else 0.5, a_norm)
+        col_bit = r_col > p_col
+        src += row_bit * bit
+        dst += col_bit * bit
+
+    # Permute vertex ids to remove the locality bias of raw RMAT output.
+    perm = rng.permutation(num_vertices)
+    src, dst = perm[src], perm[dst]
+    weights = rng.integers(0, 256, size=num_edges).astype(np.float32)
+    pairs = np.stack([src, dst], axis=1)
+    return CSRGraph.from_edge_list(
+        num_vertices, pairs, weights, name=name or f"RMAT{scale}"
+    )
+
+
+def power_law_graph(
+    num_vertices: int,
+    num_edges: int,
+    exponent: float = 2.1,
+    max_share: float = 0.0015,
+    seed: int = 0,
+    name: str = "powerlaw",
+) -> CSRGraph:
+    """Chung-Lu style power-law graph with a fixed edge budget.
+
+    Vertex ``i`` receives an attachment weight ``(i + 1) ** -1/(exponent-1)``
+    (a Zipf-like profile); sources and destinations are drawn independently
+    in proportion to those weights, which yields the heavy-tailed in/out
+    degree distributions that drive the paper's workload irregularity.
+
+    ``max_share`` caps any single vertex's expected share of the edges.  At
+    proxy scale an uncapped Zipf head would concentrate several percent of
+    all edges on one vertex -- far beyond the real graphs of Table 4, where
+    the hottest vertex holds well under a percent of edges -- distorting
+    crossbar/UE contention.  The cap keeps the tail heavy while matching
+    realistic head mass.
+
+    Args:
+        num_vertices: vertex count of the proxy.
+        num_edges: directed edge count.
+        exponent: target power-law exponent (2-3 typical for social graphs).
+        max_share: cap on one vertex's expected fraction of endpoints.
+        seed: RNG seed.
+        name: dataset name.
+    """
+    if num_vertices < 1:
+        raise ValueError("num_vertices must be >= 1")
+    if num_edges < 0:
+        raise ValueError("num_edges must be >= 0")
+    rng = np.random.default_rng(seed)
+    ranks = np.arange(1, num_vertices + 1, dtype=np.float64)
+    attach = ranks ** (-1.0 / (exponent - 1.0))
+    attach /= attach.sum()
+    if max_share is not None:
+        floor_share = 1.0 / (num_vertices * 10.0)
+        cap = max(max_share, floor_share)
+        for _ in range(4):  # clip-and-renormalize to a fixpoint
+            attach = np.minimum(attach, cap)
+            attach /= attach.sum()
+    src = rng.choice(num_vertices, size=num_edges, p=attach)
+    dst = rng.choice(num_vertices, size=num_edges, p=attach)
+    # Shuffle ids so vertex id does not correlate with degree (mirrors the
+    # arbitrary vertex numbering of crawled graphs).
+    perm = rng.permutation(num_vertices)
+    src, dst = perm[src], perm[dst]
+    weights = rng.integers(0, 256, size=num_edges).astype(np.float32)
+    pairs = np.stack([src, dst], axis=1)
+    return CSRGraph.from_edge_list(num_vertices, pairs, weights, name=name)
+
+
+def uniform_random_graph(
+    num_vertices: int,
+    num_edges: int,
+    seed: int = 0,
+    name: str = "uniform",
+) -> CSRGraph:
+    """Erdos-Renyi style graph: endpoints drawn uniformly at random."""
+    rng = np.random.default_rng(seed)
+    src = rng.integers(0, num_vertices, size=num_edges)
+    dst = rng.integers(0, num_vertices, size=num_edges)
+    weights = rng.integers(0, 256, size=num_edges).astype(np.float32)
+    pairs = np.stack([src, dst], axis=1)
+    return CSRGraph.from_edge_list(num_vertices, pairs, weights, name=name)
+
+
+def grid_graph(rows: int, cols: int, name: str = "grid") -> CSRGraph:
+    """2-D grid with 4-neighbour connectivity (deterministic, for tests)."""
+    edges = []
+    for r in range(rows):
+        for c in range(cols):
+            v = r * cols + c
+            if c + 1 < cols:
+                edges.append((v, v + 1))
+                edges.append((v + 1, v))
+            if r + 1 < rows:
+                edges.append((v, v + cols))
+                edges.append((v + cols, v))
+    return CSRGraph.from_edge_list(rows * cols, edges, name=name)
+
+
+def chain_graph(num_vertices: int, name: str = "chain") -> CSRGraph:
+    """Directed path 0 -> 1 -> ... -> n-1 (worst case for frontier width)."""
+    edges = [(i, i + 1) for i in range(num_vertices - 1)]
+    return CSRGraph.from_edge_list(num_vertices, edges, name=name)
+
+
+def star_graph(num_leaves: int, name: str = "star") -> CSRGraph:
+    """Hub vertex 0 pointing at ``num_leaves`` leaves (max degree skew)."""
+    edges = [(0, i) for i in range(1, num_leaves + 1)]
+    return CSRGraph.from_edge_list(num_leaves + 1, edges, name=name)
+
+
+def complete_graph(num_vertices: int, name: str = "complete") -> CSRGraph:
+    """All-pairs directed graph without self loops."""
+    edges = [
+        (u, v)
+        for u in range(num_vertices)
+        for v in range(num_vertices)
+        if u != v
+    ]
+    return CSRGraph.from_edge_list(num_vertices, edges, name=name)

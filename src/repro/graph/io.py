@@ -1,0 +1,206 @@
+"""Graph file I/O.
+
+Three interchange formats:
+
+* **Matrix Market** (``.mtx``) -- the format the SuiteSparse collection
+  (Table 4's source) distributes graphs in.  Coordinate format, general or
+  symmetric, pattern (unweighted) or real (weighted).
+* **Edge list** (``.txt``/``.el``) -- whitespace-separated ``src dst
+  [weight]`` lines, ``#`` comments; the SNAP convention.
+* **NPZ** (``.npz``) -- the library's native binary format: the three CSR
+  arrays verbatim (fast, lossless round trip).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional, TextIO, Tuple
+
+import numpy as np
+
+from .csr import CSRGraph, GraphError
+
+__all__ = [
+    "save_npz",
+    "load_npz",
+    "save_edge_list",
+    "load_edge_list",
+    "save_matrix_market",
+    "load_matrix_market",
+    "load_any",
+]
+
+
+# ----------------------------------------------------------------------
+# NPZ
+# ----------------------------------------------------------------------
+def save_npz(graph: CSRGraph, path: str) -> None:
+    """Write the CSR arrays to a compressed ``.npz`` file."""
+    np.savez_compressed(
+        path,
+        offsets=graph.offsets,
+        edges=graph.edges,
+        weights=graph.weights,
+        name=np.asarray(graph.name),
+    )
+
+
+def load_npz(path: str) -> CSRGraph:
+    """Read a graph written by :func:`save_npz`."""
+    with np.load(path, allow_pickle=False) as data:
+        return CSRGraph(
+            offsets=data["offsets"],
+            edges=data["edges"],
+            weights=data["weights"],
+            name=str(data["name"]),
+        )
+
+
+# ----------------------------------------------------------------------
+# Edge list
+# ----------------------------------------------------------------------
+def save_edge_list(graph: CSRGraph, path: str, write_weights: bool = True) -> None:
+    """Write ``src dst [weight]`` lines (SNAP-style)."""
+    with open(path, "w") as handle:
+        handle.write(f"# {graph.name}\n")
+        handle.write(
+            f"# vertices: {graph.num_vertices} edges: {graph.num_edges}\n"
+        )
+        for src, dst, weight in graph.iter_edges():
+            if write_weights:
+                handle.write(f"{src} {dst} {weight:g}\n")
+            else:
+                handle.write(f"{src} {dst}\n")
+
+
+def load_edge_list(
+    path: str, num_vertices: Optional[int] = None, name: Optional[str] = None
+) -> CSRGraph:
+    """Read a SNAP-style edge list.
+
+    Vertex count defaults to ``max id + 1``.  Lines starting with ``#`` or
+    ``%`` are comments; fields are whitespace separated.
+    """
+    sources: List[int] = []
+    destinations: List[int] = []
+    weights: List[float] = []
+    any_weights = False
+    with open(path) as handle:
+        for line_number, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line or line[0] in "#%":
+                continue
+            fields = line.split()
+            if len(fields) < 2:
+                raise GraphError(
+                    f"{path}:{line_number}: expected 'src dst [weight]'"
+                )
+            sources.append(int(fields[0]))
+            destinations.append(int(fields[1]))
+            if len(fields) >= 3:
+                weights.append(float(fields[2]))
+                any_weights = True
+            else:
+                weights.append(1.0)
+    if num_vertices is None:
+        num_vertices = (
+            max(max(sources, default=-1), max(destinations, default=-1)) + 1
+        )
+    pairs = np.asarray(
+        list(zip(sources, destinations)), dtype=np.int64
+    ).reshape(-1, 2)
+    return CSRGraph.from_edge_list(
+        num_vertices,
+        pairs,
+        np.asarray(weights, dtype=np.float32) if any_weights else None,
+        name=name or os.path.basename(path),
+    )
+
+
+# ----------------------------------------------------------------------
+# Matrix Market
+# ----------------------------------------------------------------------
+def save_matrix_market(graph: CSRGraph, path: str, pattern: bool = False) -> None:
+    """Write coordinate Matrix Market (1-based, general, real or pattern)."""
+    kind = "pattern" if pattern else "real"
+    with open(path, "w") as handle:
+        handle.write(f"%%MatrixMarket matrix coordinate {kind} general\n")
+        handle.write(f"% {graph.name}\n")
+        handle.write(
+            f"{graph.num_vertices} {graph.num_vertices} {graph.num_edges}\n"
+        )
+        for src, dst, weight in graph.iter_edges():
+            if pattern:
+                handle.write(f"{src + 1} {dst + 1}\n")
+            else:
+                handle.write(f"{src + 1} {dst + 1} {weight:g}\n")
+
+
+def load_matrix_market(path: str, name: Optional[str] = None) -> CSRGraph:
+    """Read a coordinate Matrix Market file.
+
+    Supports ``general`` and ``symmetric`` storage (symmetric entries are
+    mirrored), ``real``/``integer``/``pattern`` fields.
+    """
+    with open(path) as handle:
+        header = handle.readline()
+        if not header.startswith("%%MatrixMarket"):
+            raise GraphError(f"{path}: missing MatrixMarket header")
+        tokens = header.lower().split()
+        if "coordinate" not in tokens:
+            raise GraphError(f"{path}: only coordinate format is supported")
+        symmetric = "symmetric" in tokens
+        pattern = "pattern" in tokens
+
+        size_line = None
+        for line in handle:
+            stripped = line.strip()
+            if stripped and not stripped.startswith("%"):
+                size_line = stripped
+                break
+        if size_line is None:
+            raise GraphError(f"{path}: missing size line")
+        rows, cols, entries = (int(x) for x in size_line.split()[:3])
+        num_vertices = max(rows, cols)
+
+        sources: List[int] = []
+        destinations: List[int] = []
+        weights: List[float] = []
+        for line in handle:
+            stripped = line.strip()
+            if not stripped or stripped.startswith("%"):
+                continue
+            fields = stripped.split()
+            src, dst = int(fields[0]) - 1, int(fields[1]) - 1
+            weight = 1.0 if pattern or len(fields) < 3 else float(fields[2])
+            sources.append(src)
+            destinations.append(dst)
+            weights.append(weight)
+            if symmetric and src != dst:
+                sources.append(dst)
+                destinations.append(src)
+                weights.append(weight)
+
+    if len(weights) < entries:
+        raise GraphError(
+            f"{path}: expected {entries} entries, found {len(weights)}"
+        )
+    pairs = np.asarray(
+        list(zip(sources, destinations)), dtype=np.int64
+    ).reshape(-1, 2)
+    return CSRGraph.from_edge_list(
+        num_vertices,
+        pairs,
+        np.asarray(weights, dtype=np.float32),
+        name=name or os.path.basename(path),
+    )
+
+
+def load_any(path: str) -> CSRGraph:
+    """Dispatch on file extension: ``.npz``, ``.mtx``, else edge list."""
+    lower = path.lower()
+    if lower.endswith(".npz"):
+        return load_npz(path)
+    if lower.endswith(".mtx"):
+        return load_matrix_market(path)
+    return load_edge_list(path)

@@ -1,0 +1,111 @@
+"""Structural graph statistics used by the irregularity analysis (Fig. 2).
+
+These functions quantify the three irregularities of Section 3.1:
+
+* ``degree_histogram`` / ``degree_interval_counts`` -- workload irregularity
+  (how skewed is the per-thread work).
+* ``gini_coefficient`` / ``load_imbalance`` -- scalar skew summaries.
+* ``cacheline_locality`` -- traversal irregularity (how many edge lists fit
+  in a 64-byte cacheline, Section 4.1.2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from .csr import CSRGraph
+
+__all__ = [
+    "degree_histogram",
+    "degree_interval_counts",
+    "DEGREE_INTERVALS",
+    "gini_coefficient",
+    "load_imbalance",
+    "cacheline_locality",
+    "power_law_exponent_estimate",
+]
+
+#: The degree intervals plotted in Fig. 2 of the paper.
+DEGREE_INTERVALS: List[Tuple[int, int]] = [
+    (0, 0),
+    (1, 2),
+    (3, 4),
+    (5, 8),
+    (9, 16),
+    (17, 32),
+    (33, 64),
+    (65, 1 << 62),
+]
+
+
+def degree_histogram(graph: CSRGraph) -> Dict[int, int]:
+    """Map out-degree -> number of vertices with that degree."""
+    degrees = graph.out_degree()
+    values, counts = np.unique(degrees, return_counts=True)
+    return {int(v): int(c) for v, c in zip(values, counts)}
+
+
+def degree_interval_counts(
+    degrees: np.ndarray,
+    intervals: Sequence[Tuple[int, int]] = tuple(DEGREE_INTERVALS),
+) -> List[int]:
+    """Count how many entries of ``degrees`` fall in each interval.
+
+    Used per-iteration on the degrees of *active* vertices to regenerate the
+    stacked bars of Fig. 2.
+    """
+    degrees = np.asarray(degrees)
+    return [int(np.count_nonzero((degrees >= lo) & (degrees <= hi)))
+            for lo, hi in intervals]
+
+
+def gini_coefficient(values: np.ndarray) -> float:
+    """Gini coefficient of a non-negative distribution (0=equal, ->1=skewed)."""
+    values = np.sort(np.asarray(values, dtype=np.float64))
+    n = values.size
+    if n == 0:
+        return 0.0
+    total = values.sum()
+    if total == 0:
+        return 0.0
+    index = np.arange(1, n + 1)
+    return float((2 * (index * values).sum()) / (n * total) - (n + 1) / n)
+
+
+def load_imbalance(loads: np.ndarray) -> float:
+    """Max/mean load ratio; 1.0 is perfectly balanced."""
+    loads = np.asarray(loads, dtype=np.float64)
+    if loads.size == 0 or loads.mean() == 0:
+        return 1.0
+    return float(loads.max() / loads.mean())
+
+
+def cacheline_locality(
+    graph: CSRGraph, cacheline_bytes: int = 64, edge_bytes: int = 8
+) -> float:
+    """Fraction of vertices whose whole edge list fits in one cacheline.
+
+    The paper observes (Section 4.1.2) that many active vertices have only
+    4-8 edges, smaller than one 64-byte cacheline, which makes edge-list
+    accesses the bottleneck once vertex properties are on-chip.
+    """
+    per_line = max(1, cacheline_bytes // edge_bytes)
+    degrees = graph.out_degree()
+    if degrees.size == 0:
+        return 1.0
+    return float(np.count_nonzero(degrees <= per_line) / degrees.size)
+
+
+def power_law_exponent_estimate(graph: CSRGraph, d_min: int = 1) -> float:
+    """MLE estimate of the power-law exponent of the out-degree distribution.
+
+    Uses the discrete Hill estimator: alpha = 1 + n / sum(ln(d / (d_min-0.5)))
+    over degrees >= d_min.  Returns ``nan`` when no vertex qualifies.
+    """
+    degrees = graph.out_degree()
+    degrees = degrees[degrees >= d_min].astype(np.float64)
+    if degrees.size == 0:
+        return float("nan")
+    return float(1.0 + degrees.size / np.log(degrees / (d_min - 0.5)).sum())

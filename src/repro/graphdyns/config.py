@@ -1,0 +1,89 @@
+"""GraphDynS hardware configuration (Table 3 and Section 5.1.3).
+
+==============================  =======================================
+Parameter                       Value
+==============================  =======================================
+Clock                           1 GHz
+Dispatcher                      16 Dispatching Elements
+Processor                       16 PEs x 8 SIMT lanes (128 lanes total)
+eThreshold                      128 edges (split threshold)
+eListSize                       16 edges (sub-list granularity)
+vListSize                       8 vertices (Apply workload)
+Updater                         128 UEs, 128-radix crossbar
+Vertex Buffer                   128 x 256 KB dual-ported eDRAM (32 MB)
+Ready-to-Update Bitmap          256 entries/UE, 1 bit per 256 vertices
+AU buffer queues                4 x 16 entries per UE
+Off-chip memory                 HBM 1.0, 512 GB/s
+==============================  =======================================
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..memory.hbm import HBM1_512GBS, HBMConfig
+
+__all__ = ["GraphDynSConfig", "DEFAULT_CONFIG"]
+
+
+@dataclasses.dataclass(frozen=True)
+class GraphDynSConfig:
+    """Tunable parameters of the GraphDynS model.
+
+    The four ``enable_*`` switches select the scheduling optimizations for
+    the Fig. 14c ablation: Workload Balancing (WB), Exact Prefetching (EP),
+    Atomic Optimization (AO) and Update Scheduling (US).
+    """
+
+    frequency_hz: float = 1e9
+    num_dispatchers: int = 16
+    num_pes: int = 16
+    n_simt: int = 8
+    e_threshold: int = 128
+    e_list_size: int = 16
+    v_list_size: int = 8
+    num_ues: int = 128
+    vb_bytes_per_ue: int = 256 * 1024
+    bitmap_block_size: int = 256
+    au_queue_entries: int = 16
+    active_record_bytes: int = 12
+    hbm: HBMConfig = HBM1_512GBS
+
+    enable_workload_balance: bool = True
+    enable_exact_prefetch: bool = True
+    enable_atomic_optimization: bool = True
+    enable_update_scheduling: bool = True
+
+    @property
+    def total_lanes(self) -> int:
+        """Peak edge throughput per cycle (128 -> the 128 GTEPS ceiling)."""
+        return self.num_pes * self.n_simt
+
+    @property
+    def vb_total_bytes(self) -> int:
+        """Aggregate Vertex Buffer capacity (32 MB in Table 3)."""
+        return self.num_ues * self.vb_bytes_per_ue
+
+    def with_ablation(
+        self,
+        workload_balance: bool = True,
+        exact_prefetch: bool = True,
+        atomic_optimization: bool = True,
+        update_scheduling: bool = True,
+    ) -> "GraphDynSConfig":
+        """A copy with a chosen optimization subset (Fig. 14c's WB/WE/WEA/WEAU)."""
+        return dataclasses.replace(
+            self,
+            enable_workload_balance=workload_balance,
+            enable_exact_prefetch=exact_prefetch,
+            enable_atomic_optimization=atomic_optimization,
+            enable_update_scheduling=update_scheduling,
+        )
+
+    def with_num_ues(self, num_ues: int) -> "GraphDynSConfig":
+        """A copy with a different UE count (Fig. 14e scaling study)."""
+        return dataclasses.replace(self, num_ues=num_ues)
+
+
+#: The configuration evaluated throughout Section 7.
+DEFAULT_CONFIG = GraphDynSConfig()

@@ -1,0 +1,74 @@
+"""Prefetcher: Vpref and Epref (Sections 4.2.1 and 5.2.1).
+
+Component-level model of exact prefetching.  The five-step flow of
+Section 5.2.1 is made explicit:
+
+1. Vpref issues the sequential active-vertex-array request,
+2. Vpref receives ``(prop, offset, edgeCnt)`` records,
+3. Vpref hands ``(offset, edgeCnt)`` to Epref,
+4. Epref issues exact, coalesced edge requests,
+5. Epref banks edge data into the EPB with the same placement the
+   Dispatcher used for the matching workloads (Fig. 4c).
+
+The component model produces the per-PE EPB layout so tests can verify that
+every PE reads exactly its dispatched edges in order.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..core.prefetch import PrefetchPlan, plan_exact_prefetch
+from ..vcpm.optimized import ActiveVertex
+from .config import DEFAULT_CONFIG, GraphDynSConfig
+from .dispatcher import EdgeWorkload
+
+__all__ = ["EPBLayout", "Prefetcher"]
+
+
+@dataclasses.dataclass
+class EPBLayout:
+    """Edge-index contents of each EPB RAM, in arrival order."""
+
+    per_ram: List[List[int]]
+
+    def ram_of_pe(self, pe: int) -> List[int]:
+        """EPB RAM ``i`` feeds PE ``i`` exclusively (Section 5.2.2)."""
+        return self.per_ram[pe]
+
+
+class Prefetcher:
+    """Vpref + Epref pair."""
+
+    def __init__(self, config: GraphDynSConfig = DEFAULT_CONFIG) -> None:
+        self.config = config
+        self.edge_requests = 0
+        self.edges_fetched = 0
+
+    def plan(
+        self, records: Sequence[ActiveVertex], weighted: bool = True
+    ) -> PrefetchPlan:
+        """The exact access-pattern plan for a batch of active vertices."""
+        offsets = np.asarray([r.offset for r in records], dtype=np.int64)
+        counts = np.asarray([r.edge_cnt for r in records], dtype=np.int64)
+        plan = plan_exact_prefetch(offsets, counts, weighted)
+        self.edge_requests += plan.coalesced_runs
+        self.edges_fetched += int(counts.sum())
+        return plan
+
+    def arrange_epb(self, workloads: Sequence[EdgeWorkload]) -> EPBLayout:
+        """Place fetched edges into EPB RAMs mirroring the dispatch.
+
+        Epref "adopts the same workload-balance strategy of DE to arrange
+        the edge data in EPB", so PE_i finds its edges in RAM_i in workload
+        order.
+        """
+        per_ram: List[List[int]] = [[] for _ in range(self.config.num_pes)]
+        for workload in workloads:
+            per_ram[workload.pe].extend(
+                range(workload.offset, workload.offset + workload.count)
+            )
+        return EPBLayout(per_ram=per_ram)

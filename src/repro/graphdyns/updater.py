@@ -1,0 +1,147 @@
+"""Updater: crossbar + 128 Updating Elements (VB, RB, RU, AU).
+
+Component-level model of the data-update sub-datapath:
+
+* the crossbar routes each :class:`~repro.graphdyns.processor.EdgeResult`
+  to the UE owning its destination (``dst % num_ues``),
+* each UE's Reducing Unit folds results into its Vertex Buffer partition
+  through the zero-stall Reduce Pipeline,
+* the Ready-to-Update Bitmap records modified blocks,
+* the Activating Unit coalesces activations into store bursts.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..core.coalesce import ActivationCoalescer
+from ..core.reduce_pipeline import ZeroStallReducePipeline
+from ..core.update_bitmap import ReadyToUpdateBitmap
+from ..vcpm.spec import AlgorithmSpec
+from .config import DEFAULT_CONFIG, GraphDynSConfig
+from .processor import EdgeResult
+
+__all__ = ["UpdatingElement", "Updater"]
+
+
+class UpdatingElement:
+    """One UE: a VB partition, its Reduce Pipeline, bitmap slice, and AU."""
+
+    def __init__(
+        self,
+        index: int,
+        spec: AlgorithmSpec,
+        config: GraphDynSConfig,
+    ) -> None:
+        self.index = index
+        self.spec = spec
+        self.config = config
+        self.pipeline = ZeroStallReducePipeline(spec.reduce_op)
+        self.coalescer = ActivationCoalescer(
+            queue_entries=config.au_queue_entries,
+            record_bytes=config.active_record_bytes,
+            name=f"ue{index}.au",
+        )
+        self.results_received = 0
+
+    def reduce_batch(
+        self, ops: Sequence[Tuple[int, float]], vb: Dict[int, float]
+    ) -> Dict[int, float]:
+        """Drain an op stream through the zero-stall pipeline."""
+        self.results_received += len(ops)
+        outcome = self.pipeline.run(ops, vb)
+        assert outcome.stall_cycles == 0
+        return outcome.vb
+
+
+class Updater:
+    """The crossbar plus UE array."""
+
+    def __init__(
+        self,
+        num_vertices: int,
+        spec: AlgorithmSpec,
+        config: GraphDynSConfig = DEFAULT_CONFIG,
+    ) -> None:
+        self.num_vertices = num_vertices
+        self.spec = spec
+        self.config = config
+        self.ues = [
+            UpdatingElement(i, spec, config) for i in range(config.num_ues)
+        ]
+        self.bitmap = ReadyToUpdateBitmap(
+            num_vertices, config.bitmap_block_size
+        )
+        # The distributed Vertex Buffer: tProp values live in the UE whose
+        # index is vertex % num_ues; modeled as one dict per UE.
+        self.vb: List[Dict[int, float]] = [dict() for _ in range(config.num_ues)]
+
+    def ue_of(self, vertex: int) -> int:
+        return vertex % self.config.num_ues
+
+    def scatter_update(self, results: Sequence[EdgeResult]) -> np.ndarray:
+        """Route edge results through the crossbar and reduce into the VB.
+
+        Returns the vertex ids whose temporary property changed (the
+        bitmap's new marks).
+        """
+        per_ue_ops: List[List[Tuple[int, float]]] = [
+            [] for _ in range(self.config.num_ues)
+        ]
+        for result in results:
+            per_ue_ops[self.ue_of(result.dst)].append((result.dst, result.value))
+
+        modified: List[int] = []
+        identity = self.spec.reduce_op.identity
+        for ue, ops in zip(self.ues, per_ue_ops):
+            if not ops:
+                continue
+            vb = self.vb[ue.index]
+            before = {addr: vb.get(addr, identity) for addr, _ in ops}
+            after = ue.reduce_batch(ops, vb)
+            self.vb[ue.index] = after
+            for addr in before:
+                if after.get(addr, identity) != before[addr]:
+                    modified.append(addr)
+        modified_ids = np.asarray(sorted(set(modified)), dtype=np.int64)
+        if modified_ids.size:
+            self.bitmap.mark(modified_ids)
+        return modified_ids
+
+    def t_prop_array(self) -> np.ndarray:
+        """Materialize the distributed VB as a dense array (for checks)."""
+        out = np.full(
+            self.num_vertices, self.spec.reduce_op.identity, dtype=np.float64
+        )
+        for vb in self.vb:
+            for vertex, value in vb.items():
+                out[vertex] = value
+        return out
+
+    def apply_update(
+        self,
+        apply_results: Sequence[Tuple[int, float]],
+        prop: np.ndarray,
+    ) -> np.ndarray:
+        """Activate vertices whose Apply result differs (conditional store).
+
+        Mutates ``prop`` in place; returns activated vertex ids in order.
+        """
+        activated: List[int] = []
+        for vid, result in apply_results:
+            if prop[vid] != result:
+                prop[vid] = result
+                self.ues[self.ue_of(vid)].coalescer.activate(vid)
+                activated.append(vid)
+        for ue in self.ues:
+            ue.coalescer.flush()
+        return np.asarray(activated, dtype=np.int64)
+
+    def reset_for_next_iteration(self) -> None:
+        """Clear the bitmap (and the VB for accumulating algorithms)."""
+        self.bitmap.clear()
+        if self.spec.resets_tprop_each_iteration:
+            self.vb = [dict() for _ in range(self.config.num_ues)]

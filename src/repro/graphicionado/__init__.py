@@ -1,0 +1,15 @@
+"""Graphicionado baseline accelerator model."""
+
+from .config import GRAPHICIONADO_CONFIG, GraphicionadoConfig
+from .timing import GraphicionadoTimingModel
+from .streams import GraphicionadoStreams, StreamRunResult
+from .accelerator import Graphicionado
+
+__all__ = [
+    "GRAPHICIONADO_CONFIG",
+    "GraphicionadoConfig",
+    "GraphicionadoTimingModel",
+    "GraphicionadoStreams",
+    "StreamRunResult",
+    "Graphicionado",
+]

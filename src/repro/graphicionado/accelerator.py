@@ -1,0 +1,41 @@
+"""Graphicionado baseline top level."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..graph.csr import CSRGraph
+from ..metrics.counters import RunReport
+from ..vcpm.engine import VCPMResult, run_vcpm
+from ..vcpm.spec import AlgorithmSpec
+from .config import GRAPHICIONADO_CONFIG, GraphicionadoConfig
+from .timing import GraphicionadoTimingModel
+
+__all__ = ["Graphicionado"]
+
+
+class Graphicionado:
+    """The state-of-the-art graph accelerator the paper compares against."""
+
+    def __init__(
+        self, config: GraphicionadoConfig = GRAPHICIONADO_CONFIG
+    ) -> None:
+        self.config = config
+
+    def run(
+        self,
+        graph: CSRGraph,
+        spec: AlgorithmSpec,
+        source: Optional[int] = 0,
+        max_iterations: Optional[int] = None,
+    ) -> Tuple[VCPMResult, RunReport]:
+        """Execute ``spec`` on ``graph`` under the baseline timing model."""
+        timing = GraphicionadoTimingModel(graph, spec, self.config)
+        result = run_vcpm(
+            graph,
+            spec,
+            source=source,
+            max_iterations=max_iterations,
+            observers=[timing],
+        )
+        return result, timing.report()

@@ -1,0 +1,56 @@
+"""Graphicionado baseline configuration (Table 3, middle column).
+
+Graphicionado (Ham et al., MICRO 2016) as the GraphDynS paper models it:
+128 streams at 1 GHz, a 64 MB on-chip eDRAM that caches the temporary
+vertex properties *and* the offset array (twice GraphDynS's 32 MB), and the
+same 512 GB/s HBM 1.0.
+
+Its documented inefficiencies, all reproduced here (Section 3.2):
+
+* hash-based workload distribution -> pipeline imbalance ("only half of the
+  pipelines experiencing workloads most of the time"),
+* stall-on-conflict atomicity (up to 20% extra execution time),
+* ``src_vid``-tagged edge records (1.65x edge traffic vs GraphDynS) with a
+  sentinel read past the end of each edge list,
+* full-vertex Apply every iteration (20% extra time, 40% extra energy),
+* uncoalesced active-vertex stores.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..memory.hbm import HBM1_512GBS, HBMConfig
+
+__all__ = ["GraphicionadoConfig", "GRAPHICIONADO_CONFIG"]
+
+
+@dataclasses.dataclass(frozen=True)
+class GraphicionadoConfig:
+    """Parameters of the Graphicionado model."""
+
+    frequency_hz: float = 1e9
+    num_streams: int = 128
+    edram_bytes: int = 64 * 1024 * 1024
+    hbm: HBMConfig = HBM1_512GBS
+    #: In-flight window for stall-on-conflict atomicity: conflicts only
+    #: stall when they collide inside one reduce engine's short pipeline.
+    conflict_window: int = 8
+    #: Extra cycles per detected RAW conflict (pipeline bubble).
+    conflict_stall_cycles: float = 2.0
+    #: Edge record bytes: src_vid + dst (+ weight).
+    edge_bytes_weighted: int = 12
+    edge_bytes_unweighted: int = 8
+    #: Active vertex record: (vid, prop).
+    active_record_bytes: int = 8
+
+    @property
+    def vb_capacity_bytes(self) -> int:
+        """Temporary-property capacity: 2x GraphDynS (Section 7.2 notes
+        Graphicionado "can cache 2x temporary vertex property"), which is
+        why its RMAT-scaling curve declines one scale later."""
+        return self.edram_bytes
+
+
+#: The configuration evaluated in Section 7.
+GRAPHICIONADO_CONFIG = GraphicionadoConfig()

@@ -1,0 +1,82 @@
+"""Experiment harness: run the evaluation matrix, regenerate every figure."""
+
+from .io import format_si, geomean, render_table
+from .experiments import (
+    REAL_WORLD_KEYS,
+    SYSTEMS,
+    CellResult,
+    ExperimentSuite,
+    run_cell,
+)
+from .figures import (
+    FigureResult,
+    figure2,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    figure10,
+    figure11,
+    figure12,
+    figure13,
+    figure14a,
+    figure14b,
+    figure14c,
+    figure14d,
+    figure14e,
+    figure14f,
+)
+from .tables import table1, table2, table3, table4
+from .plots import bar_chart, grouped_bar_chart, line_series
+from .sweeps import (
+    sweep_bandwidth,
+    sweep_bitmap_block,
+    sweep_e_threshold,
+    sweep_n_simt,
+)
+from .report import ExperimentRecord, build_report, generate_experiments_md
+from .validation import ValidationOutcome, validate_all, validate_engines
+
+__all__ = [
+    "format_si",
+    "geomean",
+    "render_table",
+    "REAL_WORLD_KEYS",
+    "SYSTEMS",
+    "CellResult",
+    "ExperimentSuite",
+    "run_cell",
+    "FigureResult",
+    "figure2",
+    "figure6",
+    "figure7",
+    "figure8",
+    "figure9",
+    "figure10",
+    "figure11",
+    "figure12",
+    "figure13",
+    "figure14a",
+    "figure14b",
+    "figure14c",
+    "figure14d",
+    "figure14e",
+    "figure14f",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "bar_chart",
+    "grouped_bar_chart",
+    "line_series",
+    "sweep_bandwidth",
+    "sweep_bitmap_block",
+    "sweep_e_threshold",
+    "sweep_n_simt",
+    "ExperimentRecord",
+    "build_report",
+    "generate_experiments_md",
+    "ValidationOutcome",
+    "validate_all",
+    "validate_engines",
+]

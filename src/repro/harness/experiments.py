@@ -1,0 +1,132 @@
+"""Experiment suite: run the evaluation matrix once, reuse everywhere.
+
+One functional run per (algorithm, graph) drives the three timing models
+simultaneously (they are independent observers of the same data-dependent
+behaviour), which both guarantees a fair comparison and keeps the whole
+5 x 6 matrix fast enough for the benchmark harness.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..energy.model import (
+    EnergyReport,
+    graphdyns_energy,
+    graphicionado_energy,
+    gpu_energy_report,
+)
+from ..gpu.config import V100_GUNROCK
+from ..gpu.gunrock import GunrockTimingModel
+from ..graph import datasets
+from ..graph.csr import CSRGraph
+from ..graphdyns.config import DEFAULT_CONFIG, GraphDynSConfig
+from ..graphdyns.timing import GraphDynSTimingModel
+from ..graphicionado.timing import GraphicionadoTimingModel
+from ..metrics.counters import RunReport
+from ..vcpm.algorithms import algorithm_names, get_algorithm
+from ..vcpm.engine import VCPMResult, run_vcpm
+
+__all__ = ["CellResult", "ExperimentSuite", "REAL_WORLD_KEYS", "SYSTEMS"]
+
+#: The six real-world columns of every evaluation figure.
+REAL_WORLD_KEYS: Tuple[str, ...] = ("FR", "PK", "LJ", "HO", "IN", "OR")
+
+#: System presentation order of the figures.
+SYSTEMS: Tuple[str, ...] = ("Gunrock", "Graphicionado", "GraphDynS")
+
+
+@dataclasses.dataclass
+class CellResult:
+    """All three systems' outcomes for one (algorithm, graph) cell."""
+
+    algorithm: str
+    graph_key: str
+    functional: VCPMResult
+    reports: Dict[str, RunReport]
+    energy: Dict[str, EnergyReport]
+
+    def speedup_over_gunrock(self, system: str) -> float:
+        return self.reports[system].speedup_over(self.reports["Gunrock"])
+
+    def energy_vs_gunrock(self, system: str) -> float:
+        return self.energy[system].normalized_to(self.energy["Gunrock"])
+
+
+class ExperimentSuite:
+    """Lazily-evaluated, memoized (algorithm x graph) result matrix."""
+
+    def __init__(
+        self,
+        graphdyns_config: GraphDynSConfig = DEFAULT_CONFIG,
+        default_source: int = 0,
+    ) -> None:
+        self.graphdyns_config = graphdyns_config
+        self.default_source = default_source
+        self._cells: Dict[Tuple[str, str], CellResult] = {}
+
+    def cell(self, algorithm: str, graph_key: str) -> CellResult:
+        """Run (or recall) one cell of the evaluation matrix."""
+        key = (algorithm.upper(), graph_key)
+        if key in self._cells:
+            return self._cells[key]
+        spec = get_algorithm(algorithm)
+        graph = datasets.load(graph_key)
+        cell = run_cell(
+            graph,
+            algorithm,
+            graph_key,
+            source=self.default_source,
+            graphdyns_config=self.graphdyns_config,
+        )
+        self._cells[key] = cell
+        return cell
+
+    def matrix(
+        self,
+        algorithms: Optional[Sequence[str]] = None,
+        graph_keys: Optional[Sequence[str]] = None,
+    ) -> List[CellResult]:
+        """All cells of the chosen sub-matrix, algorithm-major order."""
+        algorithms = list(algorithms or algorithm_names())
+        graph_keys = list(graph_keys or REAL_WORLD_KEYS)
+        return [
+            self.cell(algorithm, graph_key)
+            for algorithm in algorithms
+            for graph_key in graph_keys
+        ]
+
+
+def run_cell(
+    graph: CSRGraph,
+    algorithm: str,
+    graph_key: Optional[str] = None,
+    source: int = 0,
+    graphdyns_config: GraphDynSConfig = DEFAULT_CONFIG,
+) -> CellResult:
+    """Run all three systems on one (graph, algorithm) pair."""
+    spec = get_algorithm(algorithm)
+    models = {
+        "GraphDynS": GraphDynSTimingModel(graph, spec, graphdyns_config),
+        "Graphicionado": GraphicionadoTimingModel(graph, spec),
+        "Gunrock": GunrockTimingModel(graph, spec),
+    }
+    functional = run_vcpm(
+        graph, spec, source=source, observers=list(models.values())
+    )
+    reports = {name: model.report() for name, model in models.items()}
+    energy = {
+        "GraphDynS": graphdyns_energy(reports["GraphDynS"]),
+        "Graphicionado": graphicionado_energy(reports["Graphicionado"]),
+        "Gunrock": gpu_energy_report(
+            reports["Gunrock"], V100_GUNROCK.average_power_w
+        ),
+    }
+    return CellResult(
+        algorithm=spec.name,
+        graph_key=graph_key or graph.name,
+        functional=functional,
+        reports=reports,
+        energy=energy,
+    )

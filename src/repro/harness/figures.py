@@ -1,0 +1,632 @@
+"""Regenerators for every figure of the paper's evaluation (Section 7).
+
+Each ``figureN`` function returns a small result object carrying the raw
+series plus a ``render()`` producing the rows/series the paper plots.  The
+benchmark harness calls these; EXPERIMENTS.md records the outcomes against
+the paper's numbers.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.scheduling import balanced_dispatch
+from ..energy.components import GRAPHDYNS_BUDGET
+from ..graph import datasets
+from ..graph.properties import DEGREE_INTERVALS, degree_interval_counts
+from ..graphdyns.config import DEFAULT_CONFIG
+from ..graphdyns.timing import GraphDynSTimingModel
+from ..graphicionado.timing import GraphicionadoTimingModel
+from ..vcpm.algorithms import algorithm_names, get_algorithm
+from ..vcpm.engine import IterationData, run_vcpm
+from .experiments import REAL_WORLD_KEYS, ExperimentSuite, run_cell
+from .io import geomean, render_table
+
+__all__ = [
+    "traffic_breakdown",
+    "figure2",
+    "figure6",
+    "figure7",
+    "figure8",
+    "figure9",
+    "figure10",
+    "figure11",
+    "figure12",
+    "figure13",
+    "figure14a",
+    "figure14b",
+    "figure14c",
+    "figure14d",
+    "figure14e",
+    "figure14f",
+]
+
+
+# ----------------------------------------------------------------------
+# Generic result container
+# ----------------------------------------------------------------------
+@dataclasses.dataclass
+class FigureResult:
+    """A reproduced figure: titled rows with named columns."""
+
+    figure: str
+    headers: List[str]
+    rows: List[List[object]]
+    notes: str = ""
+
+    def render(self) -> str:
+        table = render_table(self.headers, self.rows, title=self.figure)
+        if self.notes:
+            table += f"\n{self.notes}"
+        return table
+
+
+# ----------------------------------------------------------------------
+# Traffic breakdown (supports the Fig. 12 discussion)
+# ----------------------------------------------------------------------
+def traffic_breakdown(
+    suite: Optional[ExperimentSuite] = None,
+    algorithm: str = "SSSP",
+    graph_key: str = "LJ",
+) -> FigureResult:
+    """Per-region off-chip traffic of the three systems on one cell.
+
+    Makes the Fig. 12 narrative concrete: GraphDynS pays extra *offset*
+    traffic (Algorithm 2 reads the offset array each Apply phase) but wins
+    it back several times over on edges (no src_vid) and vertex data
+    (selective updates); Gunrock's sector-granular gathers dominate its
+    column.
+    """
+    suite = suite or ExperimentSuite()
+    cell = suite.cell(algorithm, graph_key)
+    from ..memory.request import Region
+
+    rows: List[List[object]] = []
+    for region in Region:
+        row: List[object] = [region.value]
+        for system in ("Gunrock", "Graphicionado", "GraphDynS"):
+            row.append(
+                cell.reports[system].traffic.region_total(region) / 1e6
+            )
+        if any(isinstance(v, float) and v > 0 for v in row[1:]):
+            rows.append(row)
+    rows.append(
+        [
+            "TOTAL",
+            *[
+                cell.reports[s].traffic.total / 1e6
+                for s in ("Gunrock", "Graphicionado", "GraphDynS")
+            ],
+        ]
+    )
+    return FigureResult(
+        figure=f"Traffic breakdown by region, MB ({algorithm} on {graph_key})",
+        headers=["region", "Gunrock", "Graphicionado", "GraphDynS"],
+        rows=rows,
+    )
+
+
+# ----------------------------------------------------------------------
+# Fig. 2 -- irregularity characterization
+# ----------------------------------------------------------------------
+class _Fig2Observer:
+    """Collects active-degree histograms and update counts per iteration."""
+
+    def __init__(self) -> None:
+        self.rows: List[List[object]] = []
+
+    def on_iteration(self, data: IterationData) -> None:
+        counts = degree_interval_counts(data.active_degrees)
+        self.rows.append([data.iteration + 1, *counts, data.num_modified])
+
+
+def figure2(
+    graph_key: str = "FR", algorithm: str = "SSSP", max_iterations: int = 25
+) -> FigureResult:
+    """Active vertices per degree interval and updates per iteration.
+
+    The paper plots SSSP on Flickr: degree skew within every iteration
+    (workload irregularity) and few updates relative to vertex count
+    (update irregularity; 76% of iterations update <10% of vertices).
+    """
+    graph = datasets.load(graph_key)
+    spec = get_algorithm(algorithm)
+    observer = _Fig2Observer()
+    run_vcpm(
+        graph, spec, source=0, observers=[observer], max_iterations=max_iterations
+    )
+    headers = ["iter"] + [
+        f"deg[{lo},{'inf' if hi > 10**9 else hi}]" for lo, hi in DEGREE_INTERVALS
+    ] + ["#updates"]
+    return FigureResult(
+        figure=f"Fig. 2: active-vertex degree intervals + updates "
+        f"({algorithm} on {graph_key} proxy)",
+        headers=headers,
+        rows=observer.rows,
+    )
+
+
+# ----------------------------------------------------------------------
+# Figs. 6/7/9/11/12/13 -- matrix figures over (algorithm x graph)
+# ----------------------------------------------------------------------
+def _matrix_figure(
+    suite: ExperimentSuite,
+    figure: str,
+    value_headers: Sequence[str],
+    cell_values,
+    algorithms: Optional[Sequence[str]] = None,
+    graph_keys: Optional[Sequence[str]] = None,
+    gm_positive: bool = True,
+) -> FigureResult:
+    algorithms = list(algorithms or algorithm_names())
+    graph_keys = list(graph_keys or REAL_WORLD_KEYS)
+    rows: List[List[object]] = []
+    series: Dict[str, List[float]] = {h: [] for h in value_headers}
+    for algorithm in algorithms:
+        for graph_key in graph_keys:
+            cell = suite.cell(algorithm, graph_key)
+            values = cell_values(cell)
+            rows.append([algorithm, graph_key, *values])
+            for header, value in zip(value_headers, values):
+                series[header].append(value)
+    gm_row: List[object] = ["GM", "-"]
+    for header in value_headers:
+        vals = [v for v in series[header] if v > 0]
+        gm_row.append(geomean(vals) if (gm_positive and vals) else float("nan"))
+    rows.append(gm_row)
+    return FigureResult(
+        figure=figure,
+        headers=["algo", "graph", *value_headers],
+        rows=rows,
+    )
+
+
+def figure6(
+    suite: Optional[ExperimentSuite] = None,
+    algorithms: Optional[Sequence[str]] = None,
+    graph_keys: Optional[Sequence[str]] = None,
+) -> FigureResult:
+    """Speedup over Gunrock (paper GM: Graphicionado ~2.3x, GraphDynS 4.4x)."""
+    suite = suite or ExperimentSuite()
+    return _matrix_figure(
+        suite,
+        "Fig. 6: speedup over Gunrock",
+        ["Graphicionado", "GraphDynS"],
+        lambda cell: [
+            cell.speedup_over_gunrock("Graphicionado"),
+            cell.speedup_over_gunrock("GraphDynS"),
+        ],
+        algorithms,
+        graph_keys,
+    )
+
+
+def figure7(
+    suite: Optional[ExperimentSuite] = None,
+    algorithms: Optional[Sequence[str]] = None,
+    graph_keys: Optional[Sequence[str]] = None,
+) -> FigureResult:
+    """Throughput in GTEPS (paper GM: 8 / 21 / 43; peak 128)."""
+    suite = suite or ExperimentSuite()
+    return _matrix_figure(
+        suite,
+        "Fig. 7: throughput (GTEPS)",
+        ["Gunrock", "Graphicionado", "GraphDynS"],
+        lambda cell: [
+            cell.reports["Gunrock"].gteps,
+            cell.reports["Graphicionado"].gteps,
+            cell.reports["GraphDynS"].gteps,
+        ],
+        algorithms,
+        graph_keys,
+    )
+
+
+def figure8() -> FigureResult:
+    """Power and area breakdown of GraphDynS (3.38 W, 12.08 mm^2)."""
+    budget = GRAPHDYNS_BUDGET
+    budget.validate()
+    rows = [
+        [
+            name,
+            budget.power_of(name),
+            100.0 * budget.power_shares[name],
+            budget.area_of(name),
+            100.0 * budget.area_shares[name],
+        ]
+        for name in budget.power_shares
+    ]
+    rows.append(
+        ["TOTAL", budget.total_power_w, 100.0, budget.total_area_mm2, 100.0]
+    )
+    return FigureResult(
+        figure="Fig. 8: GraphDynS power/area breakdown",
+        headers=["component", "power_w", "power_%", "area_mm2", "area_%"],
+        rows=rows,
+    )
+
+
+def figure9(
+    suite: Optional[ExperimentSuite] = None,
+    algorithms: Optional[Sequence[str]] = None,
+    graph_keys: Optional[Sequence[str]] = None,
+) -> FigureResult:
+    """Energy normalized to Gunrock, in percent (paper GM: GraphDynS 8.6%)."""
+    suite = suite or ExperimentSuite()
+    return _matrix_figure(
+        suite,
+        "Fig. 9: energy normalized to Gunrock (%)",
+        ["Graphicionado", "GraphDynS"],
+        lambda cell: [
+            100.0 * cell.energy_vs_gunrock("Graphicionado"),
+            100.0 * cell.energy_vs_gunrock("GraphDynS"),
+        ],
+        algorithms,
+        graph_keys,
+    )
+
+
+def figure10(
+    suite: Optional[ExperimentSuite] = None,
+    algorithms: Optional[Sequence[str]] = None,
+    graph_keys: Optional[Sequence[str]] = None,
+) -> FigureResult:
+    """GraphDynS energy breakdown (paper: ~92% HBM, Processor 4%, Updater 3%)."""
+    suite = suite or ExperimentSuite()
+    algorithms = list(algorithms or algorithm_names())
+    graph_keys = list(graph_keys or REAL_WORLD_KEYS)
+    components = ["Prefetcher", "Dispatcher", "Processor", "Updater", "HBM"]
+    rows: List[List[object]] = []
+    series: Dict[str, List[float]] = {c: [] for c in components}
+    for algorithm in algorithms:
+        for graph_key in graph_keys:
+            cell = suite.cell(algorithm, graph_key)
+            breakdown = cell.energy["GraphDynS"].breakdown()
+            values = [100.0 * breakdown.get(c, 0.0) for c in components]
+            rows.append([algorithm, graph_key, *values])
+            for c, v in zip(components, values):
+                series[c].append(v)
+    rows.append(
+        ["MEAN", "-", *[float(np.mean(series[c])) for c in components]]
+    )
+    return FigureResult(
+        figure="Fig. 10: GraphDynS energy breakdown (%)",
+        headers=["algo", "graph", *components],
+        rows=rows,
+    )
+
+
+def figure11(
+    suite: Optional[ExperimentSuite] = None,
+    algorithms: Optional[Sequence[str]] = None,
+    graph_keys: Optional[Sequence[str]] = None,
+) -> FigureResult:
+    """Off-chip storage normalized to Gunrock (paper GM: 63% / 35%)."""
+    suite = suite or ExperimentSuite()
+    return _matrix_figure(
+        suite,
+        "Fig. 11: off-chip storage normalized to Gunrock (%)",
+        ["Graphicionado", "GraphDynS"],
+        lambda cell: [
+            100.0
+            * cell.reports["Graphicionado"].storage_bytes
+            / cell.reports["Gunrock"].storage_bytes,
+            100.0
+            * cell.reports["GraphDynS"].storage_bytes
+            / cell.reports["Gunrock"].storage_bytes,
+        ],
+        algorithms,
+        graph_keys,
+    )
+
+
+def figure12(
+    suite: Optional[ExperimentSuite] = None,
+    algorithms: Optional[Sequence[str]] = None,
+    graph_keys: Optional[Sequence[str]] = None,
+) -> FigureResult:
+    """Memory accesses normalized to Gunrock (paper GM: 53% / 36%)."""
+    suite = suite or ExperimentSuite()
+    return _matrix_figure(
+        suite,
+        "Fig. 12: memory accesses normalized to Gunrock (%)",
+        ["Graphicionado", "GraphDynS"],
+        lambda cell: [
+            100.0
+            * cell.reports["Graphicionado"].traffic.normalized_to(
+                cell.reports["Gunrock"].traffic
+            ),
+            100.0
+            * cell.reports["GraphDynS"].traffic.normalized_to(
+                cell.reports["Gunrock"].traffic
+            ),
+        ],
+        algorithms,
+        graph_keys,
+    )
+
+
+def figure13(
+    suite: Optional[ExperimentSuite] = None,
+    algorithms: Optional[Sequence[str]] = None,
+    graph_keys: Optional[Sequence[str]] = None,
+) -> FigureResult:
+    """Memory bandwidth utilization (paper GM: 31% / ~56% / 56%)."""
+    suite = suite or ExperimentSuite()
+    return _matrix_figure(
+        suite,
+        "Fig. 13: bandwidth utilization (%)",
+        ["Gunrock", "Graphicionado", "GraphDynS"],
+        lambda cell: [
+            100.0 * cell.reports["Gunrock"].bandwidth_utilization,
+            100.0 * cell.reports["Graphicionado"].bandwidth_utilization,
+            100.0 * cell.reports["GraphDynS"].bandwidth_utilization,
+        ],
+        algorithms,
+        graph_keys,
+    )
+
+
+# ----------------------------------------------------------------------
+# Fig. 14 -- scheduling-optimization and scalability studies
+# ----------------------------------------------------------------------
+def figure14a(
+    graph_key: str = "LJ", algorithms: Optional[Sequence[str]] = None
+) -> FigureResult:
+    """Scheduling-operation reduction from coarse-grained dispatch (~94%).
+
+    Baseline: one scheduling decision per edge (fine-grained streaming).
+    GraphDynS: one decision per whole small list / per sub-list.
+    """
+    algorithms = list(algorithms or algorithm_names())
+    graph = datasets.load(graph_key)
+    rows: List[List[object]] = []
+    reductions: List[float] = []
+    for algorithm in algorithms:
+        spec = get_algorithm(algorithm)
+        model = GraphDynSTimingModel(graph, spec)
+        result = run_vcpm(graph, spec, source=0, observers=[model])
+        fine_grained = result.total_edges_processed
+        coarse = model.scheduling_ops
+        reduction = 100.0 * (1.0 - coarse / max(fine_grained, 1))
+        rows.append([algorithm, fine_grained, coarse, reduction])
+        reductions.append(reduction)
+    rows.append(["GM", "-", "-", geomean(reductions)])
+    return FigureResult(
+        figure=f"Fig. 14a: scheduling reduction on {graph_key} (%)",
+        headers=["algo", "per-edge ops", "GraphDynS ops", "reduction_%"],
+        rows=rows,
+    )
+
+
+class _Fig14bObserver:
+    """Tracks per-PE normalized loads of the heaviest iterations.
+
+    The paper plots the "several heaviest workload iterations"; iterations
+    with only a handful of edges are not meaningful balance samples, so
+    anything below ``min_edges`` is excluded.
+    """
+
+    def __init__(
+        self, num_pes: int = 16, top_k: int = 8, min_edges: int = 4096
+    ) -> None:
+        self.num_pes = num_pes
+        self.top_k = top_k
+        self.min_edges = min_edges
+        self._iterations: List[Tuple[int, np.ndarray]] = []
+
+    def on_iteration(self, data: IterationData) -> None:
+        if data.num_edges < self.min_edges:
+            return
+        outcome = balanced_dispatch(data.active_degrees, self.num_pes)
+        self._iterations.append((data.num_edges, outcome.normalized_loads()))
+
+    def heaviest(self) -> List[np.ndarray]:
+        ranked = sorted(self._iterations, key=lambda kv: -kv[0])
+        return [loads for _, loads in ranked[: self.top_k]]
+
+
+def figure14b(
+    graph_key: str = "LJ", algorithm: str = "SSWP"
+) -> FigureResult:
+    """Normalized per-PE workload in the heaviest iterations (~1.0)."""
+    graph = datasets.load(graph_key)
+    spec = get_algorithm(algorithm)
+    observer = _Fig14bObserver()
+    run_vcpm(graph, spec, source=0, observers=[observer])
+    rows: List[List[object]] = []
+    for rank, loads in enumerate(observer.heaviest(), 1):
+        rows.append([rank, *[float(x) for x in loads]])
+    return FigureResult(
+        figure=f"Fig. 14b: normalized per-PE workload ({algorithm} on {graph_key})",
+        headers=["iter_rank", *[f"PE{i}" for i in range(16)]],
+        rows=rows,
+    )
+
+
+#: The cumulative optimization points of Fig. 14c.
+ABLATION_STEPS: List[Tuple[str, Dict[str, bool]]] = [
+    ("WB", dict(workload_balance=True, exact_prefetch=False,
+                atomic_optimization=False, update_scheduling=False)),
+    ("WE", dict(workload_balance=True, exact_prefetch=True,
+                atomic_optimization=False, update_scheduling=False)),
+    ("WEA", dict(workload_balance=True, exact_prefetch=True,
+                 atomic_optimization=True, update_scheduling=False)),
+    ("WEAU", dict(workload_balance=True, exact_prefetch=True,
+                  atomic_optimization=True, update_scheduling=True)),
+]
+
+
+import functools
+
+
+@functools.lru_cache(maxsize=64)
+def _ablation_reports(graph_key: str, algorithm: str):
+    """Graphicionado + the four ablation configs, one functional run.
+
+    Memoized: Figs. 14c and 14d share these runs.
+    """
+    graph = datasets.load(graph_key)
+    spec = get_algorithm(algorithm)
+    baseline = GraphicionadoTimingModel(graph, spec)
+    ablations = {
+        label: GraphDynSTimingModel(
+            graph, spec, DEFAULT_CONFIG.with_ablation(**switches)
+        )
+        for label, switches in ABLATION_STEPS
+    }
+    run_vcpm(
+        graph,
+        spec,
+        source=0,
+        observers=[baseline, *ablations.values()],
+    )
+    return baseline.report(), {
+        label: model.report() for label, model in ablations.items()
+    }
+
+
+def figure14c(
+    graph_key: str = "LJ", algorithms: Optional[Sequence[str]] = None
+) -> FigureResult:
+    """Ablation speedups vs Graphicionado (paper GM: WE 1.39, WEA 1.57, WEAU 1.8)."""
+    algorithms = list(algorithms or algorithm_names())
+    rows: List[List[object]] = []
+    series: Dict[str, List[float]] = {label: [] for label, _ in ABLATION_STEPS}
+    for algorithm in algorithms:
+        base, reports = _ablation_reports(graph_key, algorithm)
+        values = []
+        for label, _ in ABLATION_STEPS:
+            speedup = reports[label].speedup_over(base)
+            values.append(speedup)
+            series[label].append(speedup)
+        rows.append([algorithm, *values])
+    rows.append(
+        ["GM", *[geomean(series[label]) for label, _ in ABLATION_STEPS]]
+    )
+    return FigureResult(
+        figure=f"Fig. 14c: ablation speedup vs Graphicionado on {graph_key}",
+        headers=["algo", *[label for label, _ in ABLATION_STEPS]],
+        rows=rows,
+    )
+
+
+def figure14d(
+    graph_key: str = "LJ", algorithms: Optional[Sequence[str]] = None
+) -> FigureResult:
+    """Off-chip access reduction from EP (~30%) and US (~18%)."""
+    algorithms = list(algorithms or algorithm_names())
+    rows: List[List[object]] = []
+    ep_series: List[float] = []
+    us_series: List[float] = []
+    for algorithm in algorithms:
+        _, reports = _ablation_reports(graph_key, algorithm)
+        ep = 100.0 * (
+            1.0 - reports["WE"].total_traffic_bytes
+            / max(reports["WB"].total_traffic_bytes, 1)
+        )
+        us = 100.0 * (
+            1.0 - reports["WEAU"].total_traffic_bytes
+            / max(reports["WEA"].total_traffic_bytes, 1)
+        )
+        rows.append([algorithm, ep, us])
+        ep_series.append(ep)
+        us_series.append(us)
+    rows.append(
+        ["MEAN", float(np.mean(ep_series)), float(np.mean(us_series))]
+    )
+    return FigureResult(
+        figure=f"Fig. 14d: access reduction on {graph_key} (%)",
+        headers=["algo", "EP", "US"],
+        rows=rows,
+    )
+
+
+def figure14e(
+    graph_key: str = "LJ",
+    algorithms: Optional[Sequence[str]] = None,
+    ue_counts: Sequence[int] = (256, 128, 64, 32),
+) -> FigureResult:
+    """Performance vs number of UEs, normalized to 128 (PR/CC degrade most)."""
+    algorithms = list(algorithms or algorithm_names())
+    graph = datasets.load(graph_key)
+    rows: List[List[object]] = []
+    for algorithm in algorithms:
+        spec = get_algorithm(algorithm)
+        models = {
+            n: GraphDynSTimingModel(
+                graph, spec, DEFAULT_CONFIG.with_num_ues(n)
+            )
+            for n in ue_counts
+        }
+        run_vcpm(graph, spec, source=0, observers=list(models.values()))
+        baseline_cycles = models[128].total_cycles
+        rows.append(
+            [
+                algorithm,
+                *[
+                    100.0 * baseline_cycles / max(models[n].total_cycles, 1e-9)
+                    for n in ue_counts
+                ],
+            ]
+        )
+    return FigureResult(
+        figure=f"Fig. 14e: performance vs #UEs on {graph_key} (% of 128 UEs)",
+        headers=["algo", *[str(n) for n in ue_counts]],
+        rows=rows,
+    )
+
+
+def figure14f(
+    rmat_keys: Sequence[str] = ("RM22", "RM23", "RM24", "RM25", "RM26"),
+    algorithm: str = "PR",
+) -> FigureResult:
+    """PR throughput across the RMAT scaling suite.
+
+    The paper's trend: throughput declines gently once the temporary
+    properties outgrow the Vertex Buffer and slicing kicks in; Graphicionado
+    declines one scale later because its eDRAM is twice as large.  The RMAT
+    proxies are 1024x smaller than the paper's scales 22-26 (DESIGN.md), so
+    both buffer capacities are scaled by the same factor to stay in the
+    same slicing regime.
+    """
+    scale_factor = 1024
+    gds_config = dataclasses.replace(
+        DEFAULT_CONFIG,
+        vb_bytes_per_ue=max(DEFAULT_CONFIG.vb_bytes_per_ue // scale_factor, 64),
+    )
+    from ..graphicionado.config import GRAPHICIONADO_CONFIG
+
+    gio_config = dataclasses.replace(
+        GRAPHICIONADO_CONFIG,
+        edram_bytes=max(GRAPHICIONADO_CONFIG.edram_bytes // scale_factor, 128),
+    )
+    rows: List[List[object]] = []
+    for key in rmat_keys:
+        graph = datasets.load(key)
+        spec = get_algorithm(algorithm)
+        gds = GraphDynSTimingModel(graph, spec, gds_config)
+        gio = GraphicionadoTimingModel(graph, spec, gio_config)
+        run_vcpm(graph, spec, source=0, observers=[gds, gio])
+        rows.append(
+            [
+                key,
+                graph.num_vertices,
+                graph.num_edges,
+                gds.report().gteps,
+                gio.report().gteps,
+                gds.slice_plan.num_slices,
+                gio.slice_plan.num_slices,
+            ]
+        )
+    return FigureResult(
+        figure=f"Fig. 14f: {algorithm} throughput over RMAT scaling (GTEPS)",
+        headers=[
+            "graph", "V", "E", "GraphDynS", "Graphicionado",
+            "GDS_slices", "GIO_slices",
+        ],
+        rows=rows,
+    )

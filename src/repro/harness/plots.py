@@ -1,0 +1,129 @@
+"""Terminal (ASCII) plotting for figure output.
+
+The repository is matplotlib-free; these renderers draw the paper's bar
+charts and line series as monospace text, good enough to eyeball shapes in
+CI logs:
+
+* :func:`bar_chart`          -- one horizontal bar per label;
+* :func:`grouped_bar_chart`  -- the Figs. 6/7/9 style: groups of bars per
+  (algorithm, graph) cell;
+* :func:`line_series`        -- the Fig. 14e/14f style scaling curves.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+__all__ = ["bar_chart", "grouped_bar_chart", "line_series"]
+
+_FULL = "#"
+
+
+def _scale(value: float, maximum: float, width: int) -> int:
+    if maximum <= 0:
+        return 0
+    return max(0, min(width, round(value / maximum * width)))
+
+
+def bar_chart(
+    values: Mapping[str, float],
+    width: int = 50,
+    title: str = "",
+    unit: str = "",
+) -> str:
+    """One horizontal bar per entry, scaled to the maximum."""
+    if not values:
+        return title
+    maximum = max(values.values())
+    label_width = max(len(label) for label in values)
+    lines: List[str] = [title] if title else []
+    for label, value in values.items():
+        bar = _FULL * _scale(value, maximum, width)
+        lines.append(
+            f"{label.rjust(label_width)} | {bar} {value:.2f}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(
+    groups: Sequence[str],
+    series: Mapping[str, Sequence[float]],
+    width: int = 40,
+    title: str = "",
+    unit: str = "",
+) -> str:
+    """Per-group clusters of one bar per series (Figs. 6/7 layout).
+
+    Args:
+        groups: group labels, e.g. ``["BFS/FR", "BFS/PK", ...]``.
+        series: series name -> one value per group.
+    """
+    for name, values in series.items():
+        if len(values) != len(groups):
+            raise ValueError(
+                f"series {name!r} has {len(values)} values for "
+                f"{len(groups)} groups"
+            )
+    maximum = max(
+        (v for values in series.values() for v in values), default=0.0
+    )
+    label_width = max(
+        [len(g) for g in groups] + [len(s) for s in series], default=1
+    )
+    lines: List[str] = [title] if title else []
+    for index, group in enumerate(groups):
+        lines.append(f"{group}:")
+        for name, values in series.items():
+            bar = _FULL * _scale(values[index], maximum, width)
+            lines.append(
+                f"  {name.rjust(label_width)} | {bar} "
+                f"{values[index]:.2f}{unit}"
+            )
+    return "\n".join(lines)
+
+
+def line_series(
+    x_labels: Sequence[str],
+    series: Mapping[str, Sequence[float]],
+    height: int = 12,
+    title: str = "",
+) -> str:
+    """A character-grid line plot (one symbol per series).
+
+    Values are scaled into ``height`` rows; each series uses the first
+    letter of its name as the marker.
+    """
+    for name, values in series.items():
+        if len(values) != len(x_labels):
+            raise ValueError(
+                f"series {name!r} has {len(values)} values for "
+                f"{len(x_labels)} x positions"
+            )
+    all_values = [v for values in series.values() for v in values]
+    if not all_values:
+        return title
+    low, high = min(all_values), max(all_values)
+    span = high - low or 1.0
+
+    columns = len(x_labels)
+    col_width = max(max((len(x) for x in x_labels), default=1) + 1, 6)
+    grid = [[" "] * (columns * col_width) for _ in range(height)]
+    for name, values in series.items():
+        marker = name[0].upper()
+        for col, value in enumerate(values):
+            row = height - 1 - _scale(value - low, span, height - 1)
+            position = col * col_width + col_width // 2
+            if grid[row][position] not in (" ", marker):
+                grid[row][position] = "*"  # overlapping series
+            else:
+                grid[row][position] = marker
+
+    lines: List[str] = [title] if title else []
+    lines.append(f"max {high:.2f}")
+    lines.extend("".join(row).rstrip() for row in grid)
+    lines.append(f"min {low:.2f}")
+    axis = "".join(x.center(col_width) for x in x_labels)
+    lines.append(axis.rstrip())
+    legend = "  ".join(f"{name[0].upper()}={name}" for name in series)
+    lines.append(legend)
+    return "\n".join(lines)

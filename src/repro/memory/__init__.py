@@ -1,0 +1,25 @@
+"""Memory substrate: HBM, scratchpads, crossbar, traffic accounting."""
+
+from .request import AccessPattern, Region
+from .hbm import HBM1_512GBS, HBM2_900GBS, HBMConfig, HBMModel, ServiceResult
+from .scratchpad import BankedScratchpad, ScratchpadConfig
+from .crossbar import Crossbar, CrossbarStats, grouped_duplicate_count
+from .traffic import TrafficLedger
+from .dram_detail import DRAMReferenceModel
+
+__all__ = [
+    "AccessPattern",
+    "Region",
+    "HBM1_512GBS",
+    "HBM2_900GBS",
+    "HBMConfig",
+    "HBMModel",
+    "ServiceResult",
+    "BankedScratchpad",
+    "ScratchpadConfig",
+    "Crossbar",
+    "CrossbarStats",
+    "grouped_duplicate_count",
+    "TrafficLedger",
+    "DRAMReferenceModel",
+]

@@ -1,0 +1,153 @@
+"""Bank-state DRAM reference model.
+
+The production HBM model (:mod:`repro.memory.hbm`) is an analytic formula:
+transfer time plus overlapped row-miss penalties as a function of run
+length.  This module is its *reference*: an explicit per-channel, per-bank
+open-row state machine servicing an address trace request by request, in
+the spirit of the Ramulator role in the paper's methodology.  Tests drive
+both models with equivalent workloads and check the formula tracks the
+state machine across the locality spectrum.
+
+Simplifications vs a full DRAM model (documented):
+* FCFS per channel (no reordering) -- conservative for random streams;
+* a single rank; refresh ignored (both models ignore it identically);
+* closed timing expressed in consumer clock cycles.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterable, List, Tuple
+
+import numpy as np
+
+from .hbm import HBMConfig
+
+__all__ = ["BankState", "DRAMReferenceModel", "sequential_trace", "random_trace"]
+
+
+@dataclasses.dataclass
+class BankState:
+    """One bank: which row is open and when the bank is next free."""
+
+    open_row: int = -1
+    busy_until: float = 0.0
+
+
+class DRAMReferenceModel:
+    """Explicit bank-state servicing of an address trace."""
+
+    def __init__(
+        self,
+        config: HBMConfig,
+        banks_per_channel: int = 8,
+        t_cas: float = 4.0,
+    ) -> None:
+        self.config = config
+        self.banks_per_channel = banks_per_channel
+        self.t_cas = t_cas
+        self._channels: List[List[BankState]] = [
+            [BankState() for _ in range(banks_per_channel)]
+            for _ in range(config.num_channels)
+        ]
+        self._channel_time = np.zeros(config.num_channels)
+        self.row_hits = 0
+        self.row_misses = 0
+
+    # ------------------------------------------------------------------
+    def _locate(self, address: int) -> Tuple[int, int, int]:
+        """Address -> (channel, bank, row).
+
+        Row-granular channel interleave (``[row | bank | channel |
+        column]`` with the column field spanning a whole row): contiguous
+        runs stay on one channel long enough to harvest row-buffer hits,
+        while rows rotate across channels for parallelism -- the mapping
+        HBM systems use to preserve spatial locality.
+        """
+        cfg = self.config
+        channel = (address // cfg.row_bytes) % cfg.num_channels
+        row = address // (cfg.row_bytes * cfg.num_channels)
+        bank = row % self.banks_per_channel
+        return channel, bank, row
+
+    def access(self, address: int, num_bytes: int) -> None:
+        """Service one request (split into bursts)."""
+        cfg = self.config
+        bursts = max(1, -(-num_bytes // cfg.min_access_bytes))
+        burst_cycles = cfg.min_access_bytes / cfg.channel_bytes_per_cycle
+        for i in range(bursts):
+            burst_address = address + i * cfg.min_access_bytes
+            channel, bank_index, row = self._locate(burst_address)
+            bank = self._channels[channel][bank_index]
+            # A row miss occupies only its bank during activate/precharge
+            # (other banks keep the bus busy); the data burst then
+            # serializes on the channel bus.
+            bank_available = bank.busy_until
+            if bank.open_row != row:
+                self.row_misses += 1
+                bank_available += cfg.row_miss_cycles
+                bank.open_row = row
+            else:
+                self.row_hits += 1
+            burst_start = max(bank_available, self._channel_time[channel])
+            burst_end = burst_start + burst_cycles
+            bank.busy_until = burst_end
+            self._channel_time[channel] = burst_end
+
+    def service_trace(self, trace: Iterable[Tuple[int, int]]) -> float:
+        """Service ``(address, bytes)`` requests; returns total cycles."""
+        for address, num_bytes in trace:
+            self.access(address, num_bytes)
+        return self.total_cycles
+
+    # ------------------------------------------------------------------
+    @property
+    def total_cycles(self) -> float:
+        """Completion time: when the busiest channel finishes."""
+        bank_max = max(
+            (b.busy_until for ch in self._channels for b in ch), default=0.0
+        )
+        return float(max(self._channel_time.max(initial=0.0), bank_max))
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.row_hits + self.row_misses
+        if total == 0:
+            return 0.0
+        return self.row_hits / total
+
+    def reset(self) -> None:
+        for channel in self._channels:
+            for bank in channel:
+                bank.open_row = -1
+                bank.busy_until = 0.0
+        self._channel_time[:] = 0.0
+        self.row_hits = 0
+        self.row_misses = 0
+
+
+# ----------------------------------------------------------------------
+# Trace builders for the validation tests
+# ----------------------------------------------------------------------
+def sequential_trace(
+    total_bytes: int, request_bytes: int = 256, base: int = 0
+) -> List[Tuple[int, int]]:
+    """A pure stream: back-to-back requests over a contiguous region."""
+    return [
+        (base + offset, min(request_bytes, total_bytes - offset))
+        for offset in range(0, total_bytes, request_bytes)
+    ]
+
+
+def random_trace(
+    num_requests: int,
+    request_bytes: int = 8,
+    address_space: int = 1 << 30,
+    seed: int = 0,
+) -> List[Tuple[int, int]]:
+    """Uniformly random short requests (pointer-chasing traversal)."""
+    rng = np.random.default_rng(seed)
+    addresses = rng.integers(
+        0, address_space // request_bytes, size=num_requests
+    ) * request_bytes
+    return [(int(a), request_bytes) for a in addresses]

@@ -1,0 +1,65 @@
+"""Memory request vocabulary shared by the timing models.
+
+The paper's traffic analysis (Figs. 11-13) distinguishes the graph-data
+regions of Fig. 1: the offset array, the edge array, vertex properties, and
+the active-vertex array, plus framework metadata (Gunrock's preprocessing
+structures).  Every off-chip byte in the models is tagged with one of these
+regions so the per-figure accounting falls out directly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+__all__ = ["Region", "AccessPattern"]
+
+
+class Region(enum.Enum):
+    """Off-chip memory regions of the CSR layout (Fig. 1b)."""
+
+    OFFSET = "offset"
+    EDGE = "edge"
+    VERTEX_PROP = "vertex_prop"
+    TEMP_PROP = "temp_prop"
+    ACTIVE_VERTEX = "active_vertex"
+    METADATA = "metadata"
+
+
+@dataclasses.dataclass(frozen=True)
+class AccessPattern:
+    """A batch of off-chip accesses with a common spatial structure.
+
+    Rather than issuing per-edge requests (intractable in Python at graph
+    scale), timing models describe each iteration's traffic as a handful of
+    patterns: *how many bytes*, in *runs of what contiguous length*.  Run
+    length is what determines row-buffer behaviour and therefore effective
+    bandwidth -- an 8-byte random access and an 8-KB stream differ by an
+    order of magnitude in efficiency.
+
+    Attributes:
+        region: which data structure is being accessed.
+        total_bytes: bytes moved by the whole batch.
+        run_bytes: average contiguous run length; ``total_bytes`` for a pure
+            stream, the record size for pure random access.
+        is_write: writes count toward traffic and energy identically but are
+            reported separately.
+    """
+
+    region: Region
+    total_bytes: int
+    run_bytes: float
+    is_write: bool = False
+
+    def __post_init__(self) -> None:
+        if self.total_bytes < 0:
+            raise ValueError("total_bytes must be non-negative")
+        if self.run_bytes <= 0 and self.total_bytes > 0:
+            raise ValueError("run_bytes must be positive")
+
+    @property
+    def num_runs(self) -> float:
+        """Approximate number of contiguous runs in the batch."""
+        if self.total_bytes == 0:
+            return 0.0
+        return max(1.0, self.total_bytes / self.run_bytes)

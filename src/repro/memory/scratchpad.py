@@ -1,0 +1,114 @@
+"""On-chip scratchpad (eDRAM) buffer models.
+
+GraphDynS has three scratchpad families (Section 4.2.1):
+
+* **VPB** (Vertex Prefetching Buffer) -- 16 RAMs, one per DE/PE pair,
+* **EPB** (Edge Prefetching Buffer)   -- 16 RAMs, one per PE,
+* **VB**  (Vertex Buffer)             -- 128 x 256 KB dual-ported eDRAM,
+  one per Updating Element, holding all temporary vertex properties.
+
+Banked buffers serve one vector access per bank per cycle; the hash
+placement (``bank = key % num_banks``) mirrors Section 5.2.2.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List
+
+import numpy as np
+
+from ..sim.port import Port
+
+__all__ = ["ScratchpadConfig", "BankedScratchpad"]
+
+
+@dataclasses.dataclass(frozen=True)
+class ScratchpadConfig:
+    """Geometry and timing of a banked on-chip buffer."""
+
+    name: str
+    num_banks: int
+    bank_bytes: int
+    access_latency_cycles: int = 1
+    items_per_bank_per_cycle: int = 8  # nSIMT-wide vector port
+    dual_ported: bool = False
+
+    @property
+    def total_bytes(self) -> int:
+        return self.num_banks * self.bank_bytes
+
+    def capacity_items(self, item_bytes: int) -> int:
+        """How many records of ``item_bytes`` fit across all banks."""
+        if item_bytes <= 0:
+            raise ValueError("item_bytes must be positive")
+        return self.total_bytes // item_bytes
+
+
+class BankedScratchpad:
+    """A hash-banked scratchpad with per-bank vector ports.
+
+    Provides both a per-access interface (used by event-driven micro-models)
+    and a vectorized batch interface (used by the per-iteration timing
+    layer).
+    """
+
+    def __init__(self, config: ScratchpadConfig) -> None:
+        self.config = config
+        ports_per_bank = 2 if config.dual_ported else 1
+        self._ports: List[Port] = [
+            Port(
+                width=config.items_per_bank_per_cycle * ports_per_bank,
+                name=f"{config.name}.bank{i}",
+            )
+            for i in range(config.num_banks)
+        ]
+        self.total_accesses = 0
+
+    @property
+    def num_banks(self) -> int:
+        return self.config.num_banks
+
+    def bank_of(self, key: int) -> int:
+        """Hash placement: ``bank = key % num_banks`` (Section 5.2.2)."""
+        return key % self.config.num_banks
+
+    def access(self, cycle: int, key: int, items: int = 1) -> int:
+        """Serve ``items`` from the bank owning ``key``.
+
+        Returns the completion cycle (arbitration + access latency).
+        """
+        self.total_accesses += items
+        done = self._ports[self.bank_of(key)].request(cycle, items)
+        return done + self.config.access_latency_cycles - 1
+
+    def batch_cycles(self, keys: np.ndarray) -> int:
+        """Cycles to serve one access per key, banked by hash.
+
+        The binding constraint is the most-loaded bank: with perfect
+        pipelining each bank serves ``items_per_bank_per_cycle`` per cycle,
+        so the batch takes ``ceil(max_bank_load / width)`` cycles.
+        """
+        if keys.size == 0:
+            return 0
+        loads = np.bincount(
+            keys % self.config.num_banks, minlength=self.config.num_banks
+        )
+        width = self.config.items_per_bank_per_cycle * (
+            2 if self.config.dual_ported else 1
+        )
+        self.total_accesses += int(keys.size)
+        return int(-(-int(loads.max()) // width))
+
+    def utilization(self, total_cycles: int) -> float:
+        """Mean port utilization across banks."""
+        if total_cycles <= 0 or not self._ports:
+            return 0.0
+        return float(
+            np.mean([p.utilization(total_cycles) for p in self._ports])
+        )
+
+    def reset(self) -> None:
+        for port in self._ports:
+            port.reset()
+        self.total_accesses = 0

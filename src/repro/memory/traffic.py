@@ -1,0 +1,72 @@
+"""Per-region off-chip traffic ledger.
+
+Figures 11-13 compare the three systems on storage footprint, total data
+accessed, and achieved bandwidth.  The ledger separates reads from writes
+and regions from one another, and converts between bytes and the paper's
+normalized percentages.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterable, Mapping
+
+from .request import AccessPattern, Region
+
+__all__ = ["TrafficLedger"]
+
+
+@dataclasses.dataclass
+class TrafficLedger:
+    """Accumulates off-chip bytes by region and direction."""
+
+    read_bytes: Dict[Region, int] = dataclasses.field(
+        default_factory=lambda: {r: 0 for r in Region}
+    )
+    write_bytes: Dict[Region, int] = dataclasses.field(
+        default_factory=lambda: {r: 0 for r in Region}
+    )
+
+    def add(self, pattern: AccessPattern) -> None:
+        """Record one access pattern."""
+        book = self.write_bytes if pattern.is_write else self.read_bytes
+        book[pattern.region] += pattern.total_bytes
+
+    def add_all(self, patterns: Iterable[AccessPattern]) -> None:
+        for pattern in patterns:
+            self.add(pattern)
+
+    def region_total(self, region: Region) -> int:
+        return self.read_bytes[region] + self.write_bytes[region]
+
+    @property
+    def total_read(self) -> int:
+        return sum(self.read_bytes.values())
+
+    @property
+    def total_write(self) -> int:
+        return sum(self.write_bytes.values())
+
+    @property
+    def total(self) -> int:
+        return self.total_read + self.total_write
+
+    def breakdown(self) -> Mapping[str, int]:
+        """Region -> total bytes, for reports."""
+        return {
+            region.value: self.region_total(region)
+            for region in Region
+            if self.region_total(region)
+        }
+
+    def merge(self, other: "TrafficLedger") -> None:
+        """Fold another ledger into this one."""
+        for region in Region:
+            self.read_bytes[region] += other.read_bytes[region]
+            self.write_bytes[region] += other.write_bytes[region]
+
+    def normalized_to(self, baseline: "TrafficLedger") -> float:
+        """This ledger's total as a fraction of ``baseline``'s (Fig. 12)."""
+        if baseline.total == 0:
+            return 0.0
+        return self.total / baseline.total

@@ -1,0 +1,18 @@
+"""Performance accounting structures."""
+
+from .counters import PhaseBreakdown, RunReport
+from .serialize import (
+    load_reports,
+    report_from_dict,
+    report_to_dict,
+    save_reports,
+)
+
+__all__ = [
+    "PhaseBreakdown",
+    "RunReport",
+    "load_reports",
+    "report_from_dict",
+    "report_to_dict",
+    "save_reports",
+]

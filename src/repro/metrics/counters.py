@@ -1,0 +1,100 @@
+"""Run-level performance accounting shared by all accelerator models."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional
+
+from ..memory.traffic import TrafficLedger
+
+__all__ = ["PhaseBreakdown", "RunReport"]
+
+
+@dataclasses.dataclass
+class PhaseBreakdown:
+    """Cycle totals of one iteration, split by phase and bound."""
+
+    iteration: int
+    scatter_cycles: float
+    apply_cycles: float
+    scatter_compute_cycles: float = 0.0
+    scatter_memory_cycles: float = 0.0
+    scatter_update_cycles: float = 0.0
+    scatter_stall_cycles: float = 0.0
+    apply_compute_cycles: float = 0.0
+    apply_memory_cycles: float = 0.0
+
+    @property
+    def total_cycles(self) -> float:
+        return self.scatter_cycles + self.apply_cycles
+
+
+@dataclasses.dataclass
+class RunReport:
+    """Complete modeled outcome of one (algorithm, graph, system) run.
+
+    This is the record every figure/table regenerator consumes.
+    """
+
+    system: str
+    algorithm: str
+    graph_name: str
+    cycles: float
+    frequency_hz: float
+    edges_processed: int
+    vertices_processed: int
+    iterations: int
+    traffic: TrafficLedger
+    #: Peak memory bandwidth in bytes per cycle of this system's clock.
+    peak_bytes_per_cycle: float
+    phases: List[PhaseBreakdown] = dataclasses.field(default_factory=list)
+    scheduling_ops: int = 0
+    update_operations: int = 0
+    stall_cycles: float = 0.0
+    storage_bytes: int = 0
+    extra: Dict[str, float] = dataclasses.field(default_factory=dict)
+
+    @property
+    def seconds(self) -> float:
+        """Modeled execution time."""
+        if self.frequency_hz <= 0:
+            return 0.0
+        return self.cycles / self.frequency_hz
+
+    @property
+    def gteps(self) -> float:
+        """Giga-traversed-edges per second (Fig. 7's metric)."""
+        seconds = self.seconds
+        if seconds <= 0:
+            return 0.0
+        return self.edges_processed / seconds / 1e9
+
+    @property
+    def total_traffic_bytes(self) -> int:
+        return self.traffic.total
+
+    @property
+    def bandwidth_utilization(self) -> float:
+        """Average bandwidth utilization over the whole run (Fig. 13).
+
+        Bytes actually moved divided by what the memory system could have
+        moved during the modeled execution time -- compute- or
+        latency-bound stretches leave the channels idle and lower this.
+        """
+        if self.cycles <= 0 or self.peak_bytes_per_cycle <= 0:
+            return 0.0
+        return min(
+            1.0, self.traffic.total / (self.cycles * self.peak_bytes_per_cycle)
+        )
+
+    def speedup_over(self, baseline: "RunReport") -> float:
+        """Execution-time ratio baseline/self (>1 means self is faster)."""
+        if self.seconds <= 0:
+            return float("inf")
+        return baseline.seconds / self.seconds
+
+    def scatter_cycles_total(self) -> float:
+        return sum(p.scatter_cycles for p in self.phases)
+
+    def apply_cycles_total(self) -> float:
+        return sum(p.apply_cycles for p in self.phases)

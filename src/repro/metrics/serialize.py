@@ -1,0 +1,109 @@
+"""JSON (de)serialization of run reports.
+
+Lets benchmark results be archived and diffed across commits::
+
+    from repro.metrics.serialize import report_to_dict, save_reports
+    save_reports([report], "results.json")
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List
+
+from ..memory.request import Region
+from ..memory.traffic import TrafficLedger
+from .counters import PhaseBreakdown, RunReport
+
+__all__ = [
+    "report_to_dict",
+    "report_from_dict",
+    "save_reports",
+    "load_reports",
+]
+
+
+def report_to_dict(report: RunReport) -> Dict[str, Any]:
+    """Lossless dict form of a :class:`RunReport`."""
+    return {
+        "system": report.system,
+        "algorithm": report.algorithm,
+        "graph_name": report.graph_name,
+        "cycles": report.cycles,
+        "frequency_hz": report.frequency_hz,
+        "edges_processed": report.edges_processed,
+        "vertices_processed": report.vertices_processed,
+        "iterations": report.iterations,
+        "peak_bytes_per_cycle": report.peak_bytes_per_cycle,
+        "scheduling_ops": report.scheduling_ops,
+        "update_operations": report.update_operations,
+        "stall_cycles": report.stall_cycles,
+        "storage_bytes": report.storage_bytes,
+        "extra": dict(report.extra),
+        "traffic": {
+            "read": {r.value: b for r, b in report.traffic.read_bytes.items()},
+            "write": {r.value: b for r, b in report.traffic.write_bytes.items()},
+        },
+        "phases": [
+            {
+                "iteration": p.iteration,
+                "scatter_cycles": p.scatter_cycles,
+                "apply_cycles": p.apply_cycles,
+                "scatter_compute_cycles": p.scatter_compute_cycles,
+                "scatter_memory_cycles": p.scatter_memory_cycles,
+                "scatter_update_cycles": p.scatter_update_cycles,
+                "scatter_stall_cycles": p.scatter_stall_cycles,
+                "apply_compute_cycles": p.apply_compute_cycles,
+                "apply_memory_cycles": p.apply_memory_cycles,
+            }
+            for p in report.phases
+        ],
+        # Derived metrics included for human readers; ignored on load.
+        "derived": {
+            "seconds": report.seconds,
+            "gteps": report.gteps,
+            "bandwidth_utilization": report.bandwidth_utilization,
+        },
+    }
+
+
+def report_from_dict(data: Dict[str, Any]) -> RunReport:
+    """Rebuild a :class:`RunReport` written by :func:`report_to_dict`."""
+    ledger = TrafficLedger()
+    for region_name, amount in data["traffic"]["read"].items():
+        ledger.read_bytes[Region(region_name)] = amount
+    for region_name, amount in data["traffic"]["write"].items():
+        ledger.write_bytes[Region(region_name)] = amount
+    phases = [
+        PhaseBreakdown(**phase) for phase in data.get("phases", [])
+    ]
+    return RunReport(
+        system=data["system"],
+        algorithm=data["algorithm"],
+        graph_name=data["graph_name"],
+        cycles=data["cycles"],
+        frequency_hz=data["frequency_hz"],
+        edges_processed=data["edges_processed"],
+        vertices_processed=data["vertices_processed"],
+        iterations=data["iterations"],
+        traffic=ledger,
+        peak_bytes_per_cycle=data["peak_bytes_per_cycle"],
+        phases=phases,
+        scheduling_ops=data.get("scheduling_ops", 0),
+        update_operations=data.get("update_operations", 0),
+        stall_cycles=data.get("stall_cycles", 0.0),
+        storage_bytes=data.get("storage_bytes", 0),
+        extra=dict(data.get("extra", {})),
+    )
+
+
+def save_reports(reports: Iterable[RunReport], path: str) -> None:
+    """Write reports as a JSON array."""
+    with open(path, "w") as handle:
+        json.dump([report_to_dict(r) for r in reports], handle, indent=2)
+
+
+def load_reports(path: str) -> List[RunReport]:
+    """Read reports written by :func:`save_reports`."""
+    with open(path) as handle:
+        return [report_from_dict(d) for d in json.load(handle)]

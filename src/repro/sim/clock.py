@@ -1,0 +1,49 @@
+"""Cycle clock shared by the discrete-event micro-models."""
+
+from __future__ import annotations
+
+__all__ = ["Clock"]
+
+
+class Clock:
+    """A monotonically advancing cycle counter.
+
+    All hardware micro-models (Reduce Pipeline, crossbar, queues) share one
+    clock so their interactions stay causally ordered.
+    """
+
+    def __init__(self, frequency_hz: float = 1e9) -> None:
+        if frequency_hz <= 0:
+            raise ValueError("frequency must be positive")
+        self._cycle = 0
+        self.frequency_hz = frequency_hz
+
+    @property
+    def cycle(self) -> int:
+        """Current cycle number."""
+        return self._cycle
+
+    def tick(self, cycles: int = 1) -> int:
+        """Advance by ``cycles`` and return the new cycle number."""
+        if cycles < 0:
+            raise ValueError("cannot tick backwards")
+        self._cycle += cycles
+        return self._cycle
+
+    def advance_to(self, cycle: int) -> int:
+        """Advance to an absolute cycle (no-op if already past it)."""
+        if cycle > self._cycle:
+            self._cycle = cycle
+        return self._cycle
+
+    @property
+    def seconds(self) -> float:
+        """Wall-clock time represented by the current cycle count."""
+        return self._cycle / self.frequency_hz
+
+    def reset(self) -> None:
+        """Return to cycle zero."""
+        self._cycle = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Clock(cycle={self._cycle}, f={self.frequency_hz:.3g} Hz)"

@@ -1,0 +1,80 @@
+"""A minimal discrete-event simulation engine.
+
+Used by the exact micro-models (Reduce Pipeline replay, crossbar
+arbitration) and their tests.  Deliberately small: an event heap keyed by
+cycle, with deterministic FIFO ordering among same-cycle events.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional, Tuple
+
+__all__ = ["Event", "EventEngine"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Event:
+    """A scheduled callback."""
+
+    cycle: int
+    action: Callable[[], Any]
+    label: str = ""
+
+
+class EventEngine:
+    """Priority-queue event loop over integer cycles.
+
+    Events scheduled for the same cycle run in scheduling order (stable),
+    which keeps hardware models deterministic without explicit tie-breaking.
+    """
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[int, int, Event]] = []
+        self._counter = itertools.count()
+        self.current_cycle = 0
+        self.events_run = 0
+
+    def schedule(self, delay: int, action: Callable[[], Any], label: str = "") -> None:
+        """Schedule ``action`` to run ``delay`` cycles from now."""
+        if delay < 0:
+            raise ValueError("delay must be non-negative")
+        event = Event(cycle=self.current_cycle + delay, action=action, label=label)
+        heapq.heappush(self._heap, (event.cycle, next(self._counter), event))
+
+    def schedule_at(self, cycle: int, action: Callable[[], Any], label: str = "") -> None:
+        """Schedule ``action`` at an absolute cycle (>= now)."""
+        if cycle < self.current_cycle:
+            raise ValueError("cannot schedule in the past")
+        event = Event(cycle=cycle, action=action, label=label)
+        heapq.heappush(self._heap, (cycle, next(self._counter), event))
+
+    @property
+    def pending(self) -> int:
+        return len(self._heap)
+
+    def step(self) -> Optional[Event]:
+        """Run the next event; returns it, or None when the heap is empty."""
+        if not self._heap:
+            return None
+        cycle, _, event = heapq.heappop(self._heap)
+        self.current_cycle = cycle
+        event.action()
+        self.events_run += 1
+        return event
+
+    def run(self, max_events: int = 10_000_000) -> int:
+        """Run until quiescent; returns the final cycle."""
+        for _ in range(max_events):
+            if self.step() is None:
+                return self.current_cycle
+        raise RuntimeError("event budget exhausted; livelock suspected")
+
+    def run_until(self, cycle: int) -> int:
+        """Run all events scheduled strictly before ``cycle``."""
+        while self._heap and self._heap[0][0] < cycle:
+            self.step()
+        self.current_cycle = max(self.current_cycle, cycle)
+        return self.current_cycle

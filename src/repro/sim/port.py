@@ -1,0 +1,56 @@
+"""Throughput-limited ports.
+
+A :class:`Port` models a hardware interface that accepts at most
+``width`` items per cycle (e.g. a RAM that serves one vector of ``nSIMT``
+elements per cycle, or a crossbar output that accepts one flit per cycle).
+Callers ask *when* a batch of items can be accepted; the port tracks its
+busy horizon and utilization.
+"""
+
+from __future__ import annotations
+
+__all__ = ["Port"]
+
+
+class Port:
+    """A resource serving ``width`` items per cycle, FCFS."""
+
+    def __init__(self, width: int, name: str = "port") -> None:
+        if width < 1:
+            raise ValueError("width must be >= 1")
+        self.width = width
+        self.name = name
+        self._next_free_cycle = 0
+        self.items_served = 0
+        self.busy_cycles = 0
+
+    @property
+    def next_free_cycle(self) -> int:
+        return self._next_free_cycle
+
+    def request(self, cycle: int, items: int = 1) -> int:
+        """Reserve capacity for ``items`` starting no earlier than ``cycle``.
+
+        Returns the cycle at which the whole batch has been served.
+        """
+        if items < 0:
+            raise ValueError("items must be non-negative")
+        if items == 0:
+            return max(cycle, self._next_free_cycle)
+        start = max(cycle, self._next_free_cycle)
+        duration = -(-items // self.width)  # ceil division
+        self._next_free_cycle = start + duration
+        self.items_served += items
+        self.busy_cycles += duration
+        return self._next_free_cycle
+
+    def utilization(self, total_cycles: int) -> float:
+        """Fraction of ``total_cycles`` this port was busy."""
+        if total_cycles <= 0:
+            return 0.0
+        return min(1.0, self.busy_cycles / total_cycles)
+
+    def reset(self) -> None:
+        self._next_free_cycle = 0
+        self.items_served = 0
+        self.busy_cycles = 0

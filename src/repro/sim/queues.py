@@ -1,0 +1,125 @@
+"""Bounded hardware queues and double buffers.
+
+These model the FIFO structures of the paper's microarchitecture: the
+per-PE workload queues (Fig. 4a), the Activating Unit's four 16-entry buffer
+queues, and the double-buffered active-vertex store of Section 5.3.2.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Generic, Iterable, List, Optional, TypeVar
+
+T = TypeVar("T")
+
+__all__ = ["BoundedQueue", "QueueFullError", "QueueEmptyError", "DoubleBuffer"]
+
+
+class QueueFullError(RuntimeError):
+    """Push attempted on a full bounded queue (models backpressure)."""
+
+
+class QueueEmptyError(RuntimeError):
+    """Pop attempted on an empty queue."""
+
+
+class BoundedQueue(Generic[T]):
+    """FIFO with a hardware capacity limit and occupancy statistics."""
+
+    def __init__(self, capacity: int, name: str = "queue") -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self.name = name
+        self._items: Deque[T] = deque()
+        self.total_pushes = 0
+        self.total_pops = 0
+        self.rejected_pushes = 0
+        self.max_occupancy = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._items) >= self.capacity
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._items
+
+    @property
+    def free_slots(self) -> int:
+        return self.capacity - len(self._items)
+
+    def push(self, item: T) -> None:
+        """Enqueue, raising :class:`QueueFullError` when at capacity."""
+        if self.is_full:
+            self.rejected_pushes += 1
+            raise QueueFullError(f"{self.name} full (capacity {self.capacity})")
+        self._items.append(item)
+        self.total_pushes += 1
+        self.max_occupancy = max(self.max_occupancy, len(self._items))
+
+    def try_push(self, item: T) -> bool:
+        """Enqueue if space is available; return whether it succeeded."""
+        if self.is_full:
+            self.rejected_pushes += 1
+            return False
+        self.push(item)
+        return True
+
+    def pop(self) -> T:
+        """Dequeue the oldest item."""
+        if self.is_empty:
+            raise QueueEmptyError(f"{self.name} empty")
+        self.total_pops += 1
+        return self._items.popleft()
+
+    def peek(self) -> T:
+        """The oldest item without removing it."""
+        if self.is_empty:
+            raise QueueEmptyError(f"{self.name} empty")
+        return self._items[0]
+
+    def drain(self) -> List[T]:
+        """Pop everything, oldest first."""
+        out = list(self._items)
+        self.total_pops += len(self._items)
+        self._items.clear()
+        return out
+
+
+class DoubleBuffer(Generic[T]):
+    """Two buffers working in ping-pong fashion (Section 5.3.2).
+
+    The Activating Unit fills the *front* buffer while the *back* buffer
+    drains to off-chip memory; ``swap`` flips the roles.  Stall pressure is
+    observable through :attr:`swaps_while_back_nonempty`.
+    """
+
+    def __init__(self, capacity: int, name: str = "dbuf") -> None:
+        self.front: BoundedQueue[T] = BoundedQueue(capacity, f"{name}.front")
+        self.back: BoundedQueue[T] = BoundedQueue(capacity, f"{name}.back")
+        self.name = name
+        self.swaps = 0
+        self.swaps_while_back_nonempty = 0
+
+    def push(self, item: T) -> bool:
+        """Fill the front buffer; returns False (stall) when it is full."""
+        return self.front.try_push(item)
+
+    def swap(self) -> None:
+        """Flip front and back."""
+        if not self.back.is_empty:
+            self.swaps_while_back_nonempty += 1
+        self.front, self.back = self.back, self.front
+        self.swaps += 1
+
+    def drain_back(self) -> List[T]:
+        """Write the back buffer out (returns its contents, oldest first)."""
+        return self.back.drain()
+
+    @property
+    def front_full(self) -> bool:
+        return self.front.is_full

@@ -1,0 +1,110 @@
+"""Cycle-activity tracing for micro-models.
+
+A :class:`ActivityTrace` records which unit did what on which cycle and
+renders a text timeline (a poor man's waveform viewer), used when
+debugging the event-driven models::
+
+    trace = ActivityTrace()
+    trace.record(cycle=3, unit="PE0", event="issue", detail="v18 e2")
+    print(trace.render_timeline())
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import defaultdict
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["TraceEvent", "ActivityTrace"]
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceEvent:
+    """One recorded action."""
+
+    cycle: int
+    unit: str
+    event: str
+    detail: str = ""
+
+
+class ActivityTrace:
+    """Append-only recording of per-cycle unit activity."""
+
+    def __init__(self, max_events: int = 1_000_000) -> None:
+        self.max_events = max_events
+        self._events: List[TraceEvent] = []
+        self.dropped = 0
+
+    def record(
+        self, cycle: int, unit: str, event: str, detail: str = ""
+    ) -> None:
+        """Record one action (drops silently past ``max_events``)."""
+        if len(self._events) >= self.max_events:
+            self.dropped += 1
+            return
+        self._events.append(TraceEvent(cycle, unit, event, detail))
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    @property
+    def events(self) -> List[TraceEvent]:
+        return list(self._events)
+
+    def events_for(self, unit: str) -> List[TraceEvent]:
+        """All events of one unit, in recording order."""
+        return [e for e in self._events if e.unit == unit]
+
+    def busy_cycles(self, unit: str) -> int:
+        """Distinct cycles on which ``unit`` did anything."""
+        return len({e.cycle for e in self._events if e.unit == unit})
+
+    def utilization(self, unit: str) -> float:
+        """Busy fraction of the traced span."""
+        span = self.span()
+        if span == 0:
+            return 0.0
+        return self.busy_cycles(unit) / span
+
+    def span(self) -> int:
+        """Cycles from 0 through the last recorded event."""
+        if not self._events:
+            return 0
+        return max(e.cycle for e in self._events) + 1
+
+    def render_timeline(
+        self,
+        first_cycle: int = 0,
+        last_cycle: Optional[int] = None,
+        busy_char: str = "#",
+        idle_char: str = ".",
+    ) -> str:
+        """One row per unit, one column per cycle."""
+        if not self._events:
+            return "(empty trace)"
+        if last_cycle is None:
+            last_cycle = self.span() - 1
+        busy: Dict[str, set] = defaultdict(set)
+        for event in self._events:
+            busy[event.unit].add(event.cycle)
+        width = max(len(unit) for unit in busy)
+        lines = []
+        header = " " * (width + 1) + "".join(
+            str(c % 10) for c in range(first_cycle, last_cycle + 1)
+        )
+        lines.append(header)
+        for unit in sorted(busy):
+            row = "".join(
+                busy_char if c in busy[unit] else idle_char
+                for c in range(first_cycle, last_cycle + 1)
+            )
+            lines.append(f"{unit.rjust(width)} {row}")
+        return "\n".join(lines)
+
+    def summary(self) -> Dict[str, Tuple[int, float]]:
+        """Unit -> (busy cycles, utilization)."""
+        return {
+            unit: (self.busy_cycles(unit), self.utilization(unit))
+            for unit in sorted({e.unit for e in self._events})
+        }

@@ -1,0 +1,284 @@
+"""Functional execution engine for the push-based VCPM (Algorithm 1 / 2).
+
+The engine executes the algorithm *functionally* (bit-exact property values,
+frontier evolution, convergence) while exposing, per iteration, exactly the
+structural information that the paper's decoupled datapath extracts at
+runtime:
+
+* the active vertex list with per-vertex ``offset`` and ``edgeCnt``
+  (Algorithm 2's dispatch stage),
+* the destination id stream of the Scatter phase (drives crossbar/UE
+  contention and RAW conflicts),
+* the set of vertices whose temporary property was modified (the
+  Ready-to-Update Bitmap contents),
+* the set of vertices activated by Apply.
+
+Timing models subscribe as :class:`IterationObserver`; one functional run can
+drive any number of accelerator models, which keeps benchmarks honest (every
+model sees the identical data-dependent behaviour) and fast.
+
+Reduction is implemented with ``np.minimum.at`` / ``np.maximum.at`` /
+``np.add.at``, which are semantically the atomic read-modify-write loops the
+hardware performs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable, List, Optional, Protocol, Sequence
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+from .spec import AlgorithmSpec
+
+__all__ = [
+    "IterationData",
+    "IterationTrace",
+    "VCPMResult",
+    "IterationObserver",
+    "run_vcpm",
+    "gather_edge_indices",
+]
+
+
+def gather_edge_indices(
+    offsets: np.ndarray, active: np.ndarray
+) -> np.ndarray:
+    """Indices into the edge array for every edge of the active vertices.
+
+    Vectorized expansion of ``[range(offsets[u], offsets[u+1]) for u in
+    active]`` preserving traversal order, which the timing models rely on.
+    """
+    starts = offsets[active]
+    counts = offsets[active + 1] - starts
+    total = int(counts.sum())
+    if total == 0:
+        return np.zeros(0, dtype=np.int64)
+    # Base index of each run, repeated per element, plus a ramp.
+    run_ends = np.cumsum(counts)
+    run_starts_in_output = run_ends - counts
+    base = np.repeat(starts - run_starts_in_output, counts)
+    return base + np.arange(total, dtype=np.int64)
+
+
+@dataclasses.dataclass
+class IterationData:
+    """Everything one iteration exposes to timing observers.
+
+    Arrays are shared (not copied); observers must not mutate them.
+
+    Attributes:
+        iteration: zero-based iteration index.
+        active_ids: ids of active vertices, in dispatch order.
+        active_degrees: ``edgeCnt`` for each active vertex.
+        active_offsets: ``offset`` for each active vertex.
+        edge_dst: destination vertex id of every processed edge, in
+            traversal order (concatenated per-active-vertex edge lists).
+        edge_weights: weight of every processed edge (same order).
+        modified_ids: vertices whose temporary property changed this
+            iteration (contents of the Ready-to-Update Bitmap).
+        activated_ids: vertices activated for the next iteration.
+        num_vertices: total vertex count (Apply-phase width without update
+            scheduling).
+    """
+
+    iteration: int
+    active_ids: np.ndarray
+    active_degrees: np.ndarray
+    active_offsets: np.ndarray
+    edge_dst: np.ndarray
+    edge_weights: np.ndarray
+    modified_ids: np.ndarray
+    activated_ids: np.ndarray
+    num_vertices: int
+
+    @property
+    def num_active(self) -> int:
+        return int(self.active_ids.size)
+
+    @property
+    def num_edges(self) -> int:
+        return int(self.edge_dst.size)
+
+    @property
+    def num_modified(self) -> int:
+        return int(self.modified_ids.size)
+
+    @property
+    def num_activated(self) -> int:
+        return int(self.activated_ids.size)
+
+
+@dataclasses.dataclass(frozen=True)
+class IterationTrace:
+    """Scalar record of one iteration, kept for the whole run."""
+
+    iteration: int
+    num_active: int
+    num_edges: int
+    num_modified: int
+    num_activated: int
+
+
+@dataclasses.dataclass
+class VCPMResult:
+    """Output of a functional VCPM run."""
+
+    algorithm: str
+    graph_name: str
+    properties: np.ndarray
+    iterations: List[IterationTrace]
+    converged: bool
+    source: Optional[int]
+
+    @property
+    def num_iterations(self) -> int:
+        return len(self.iterations)
+
+    @property
+    def total_edges_processed(self) -> int:
+        return sum(t.num_edges for t in self.iterations)
+
+    @property
+    def total_active_vertices(self) -> int:
+        return sum(t.num_active for t in self.iterations)
+
+    @property
+    def total_updates(self) -> int:
+        return sum(t.num_modified for t in self.iterations)
+
+
+class IterationObserver(Protocol):
+    """Consumer of per-iteration structural data (e.g. a timing model)."""
+
+    def on_iteration(self, data: IterationData) -> None:
+        """Called once per iteration, after Apply completes."""
+        ...  # pragma: no cover - protocol
+
+
+def run_vcpm(
+    graph: CSRGraph,
+    spec: AlgorithmSpec,
+    source: Optional[int] = 0,
+    max_iterations: Optional[int] = None,
+    observers: Sequence[IterationObserver] = (),
+    pr_tolerance: float = 1e-7,
+) -> VCPMResult:
+    """Execute ``spec`` on ``graph`` per the push-based VCPM of Algorithm 1.
+
+    Args:
+        graph: input CSR graph.
+        spec: algorithm definition (Table 2 entry).
+        source: root vertex for source-based algorithms; ignored when
+            ``spec.needs_source`` is false.
+        max_iterations: iteration cap; defaults to the spec's own cap.
+        observers: timing models or statistics collectors fed each iteration.
+        pr_tolerance: convergence threshold on the L1 property delta for
+            accumulating (PR-style) algorithms.
+
+    Returns:
+        The final property array and per-iteration trace.
+    """
+    num_vertices = graph.num_vertices
+    if max_iterations is None:
+        max_iterations = spec.default_max_iterations
+    if spec.needs_source:
+        if source is None:
+            raise ValueError(f"{spec.name} requires a source vertex")
+        if not (0 <= source < max(num_vertices, 1)):
+            raise ValueError(f"source {source} out of range")
+    else:
+        source = None
+
+    prop = spec.initial_prop(num_vertices, source)
+    t_prop = spec.initial_tprop(num_vertices)
+    if spec.uses_degree_cprop:
+        c_prop = graph.out_degree().astype(np.float64)
+    else:
+        c_prop = np.zeros(num_vertices, dtype=np.float64)
+
+    if spec.all_vertices_active_initially:
+        active = np.arange(num_vertices, dtype=np.int64)
+    elif source is not None and num_vertices:
+        active = np.asarray([source], dtype=np.int64)
+    else:
+        active = np.zeros(0, dtype=np.int64)
+
+    # PR stores rank/deg; normalize the initial uniform ranks once.
+    if spec.uses_degree_cprop and num_vertices:
+        prop = prop / np.maximum(c_prop, 1.0)
+
+    traces: List[IterationTrace] = []
+    converged = False
+
+    for iteration in range(max_iterations):
+        if active.size == 0:
+            converged = True
+            break
+
+        # ------------------------- Scatter phase -------------------------
+        edge_idx = gather_edge_indices(graph.offsets, active)
+        edge_dst = graph.edges[edge_idx]
+        edge_w = graph.weights[edge_idx].astype(np.float64)
+        degrees = graph.offsets[active + 1] - graph.offsets[active]
+        u_prop = np.repeat(prop[active], degrees)
+
+        results = spec.process_edge(u_prop, edge_w)
+        t_prop_before = t_prop.copy()
+        spec.reduce_op.ufunc.at(t_prop, edge_dst, results)
+        modified = np.flatnonzero(t_prop != t_prop_before)
+
+        # -------------------------- Apply phase --------------------------
+        apply_res = spec.apply(prop, t_prop, c_prop)
+        activated_mask = apply_res != prop
+        activated = np.flatnonzero(activated_mask)
+        old_prop = prop
+        prop = np.where(activated_mask, apply_res, prop)
+
+        data = IterationData(
+            iteration=iteration,
+            active_ids=active,
+            active_degrees=degrees,
+            active_offsets=graph.offsets[active],
+            edge_dst=edge_dst,
+            edge_weights=edge_w,
+            modified_ids=modified,
+            activated_ids=activated,
+            num_vertices=num_vertices,
+        )
+        for observer in observers:
+            observer.on_iteration(data)
+        traces.append(
+            IterationTrace(
+                iteration=iteration,
+                num_active=int(active.size),
+                num_edges=int(edge_dst.size),
+                num_modified=int(modified.size),
+                num_activated=int(activated.size),
+            )
+        )
+
+        if spec.resets_tprop_each_iteration:
+            # Accumulating algorithms (PR) restart the fold each iteration
+            # and converge on the property delta instead of frontier decay.
+            t_prop = spec.initial_tprop(num_vertices)
+            delta = float(np.abs(prop - old_prop).sum())
+            if delta < pr_tolerance:
+                converged = True
+                break
+            active = np.arange(num_vertices, dtype=np.int64)
+        else:
+            active = activated
+            if active.size == 0:
+                converged = True
+                break
+
+    return VCPMResult(
+        algorithm=spec.name,
+        graph_name=graph.name,
+        properties=prop,
+        iterations=traces,
+        converged=converged,
+        source=source,
+    )

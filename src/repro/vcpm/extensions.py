@@ -1,0 +1,120 @@
+"""Extension algorithms beyond the paper's five.
+
+The Dispatching/Processing model (and VCPM generally) expresses any
+algorithm whose per-edge work is a ``Process_Edge`` and whose combination
+is a commutative single-instruction ``Reduce`` -- the property the
+zero-stall Reduce Pipeline exploits.  These extensions demonstrate that
+generality (SpMV and degree centrality appear in the Graphicionado
+evaluation; the others are standard VCPM workloads):
+
+* **SpMV**  -- one sparse matrix-vector product: ``y = A x`` with
+  ``Process_Edge = x[u] * w`` and a SUM reduce (single iteration).
+* **DEGREE** -- in-degree counting: each edge contributes 1 (single
+  iteration; trivially checks the scatter plumbing).
+* **WIDEST-IN** (max-plus flavour) -- maximum incoming edge weight seen
+  from an updated source, a MAX-reduce propagation.
+* **REACH** -- reachability flags from the source (BFS without levels).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from .spec import AlgorithmSpec, ReduceOp
+
+__all__ = [
+    "SPMV",
+    "DEGREE_COUNT",
+    "MAX_INCOMING",
+    "REACHABILITY",
+    "EXTENSION_ALGORITHMS",
+    "get_extension",
+]
+
+
+def _uniform_init(value: float):
+    def init(num_vertices: int, source: Optional[int]) -> np.ndarray:
+        return np.full(num_vertices, value, dtype=np.float64)
+
+    return init
+
+
+def _source_flag_init(num_vertices: int, source: Optional[int]) -> np.ndarray:
+    prop = np.zeros(num_vertices, dtype=np.float64)
+    if source is not None and num_vertices:
+        prop[source] = 1.0
+    return prop
+
+
+def _replace_apply(prop, t_prop, c_prop):
+    """Apply that adopts the reduced value outright (y = reduce result)."""
+    return t_prop
+
+
+def _or_apply(prop, t_prop, c_prop):
+    """Sticky boolean: once reached, stays reached."""
+    return np.maximum(prop, np.isfinite(t_prop) * (t_prop > 0))
+
+
+SPMV = AlgorithmSpec(
+    name="SPMV",
+    process_edge=lambda u_prop, weight: u_prop * weight,
+    reduce_op=ReduceOp.SUM,
+    apply=_replace_apply,
+    initial_prop=_uniform_init(1.0),
+    uses_weights=True,
+    all_vertices_active_initially=True,
+    needs_source=False,
+    default_max_iterations=1,
+)
+
+DEGREE_COUNT = AlgorithmSpec(
+    name="DEGREE",
+    process_edge=lambda u_prop, weight: np.ones_like(u_prop),
+    reduce_op=ReduceOp.SUM,
+    apply=_replace_apply,
+    initial_prop=_uniform_init(0.0),
+    uses_weights=False,
+    all_vertices_active_initially=True,
+    needs_source=False,
+    default_max_iterations=1,
+)
+
+MAX_INCOMING = AlgorithmSpec(
+    name="MAXIN",
+    process_edge=lambda u_prop, weight: weight,
+    reduce_op=ReduceOp.MAX,
+    apply=lambda prop, t_prop, c_prop: np.maximum(prop, t_prop),
+    initial_prop=_uniform_init(float("-inf")),
+    uses_weights=True,
+    all_vertices_active_initially=True,
+    needs_source=False,
+    default_max_iterations=1,
+)
+
+REACHABILITY = AlgorithmSpec(
+    name="REACH",
+    process_edge=lambda u_prop, weight: u_prop,  # propagate the flag
+    reduce_op=ReduceOp.MAX,
+    apply=lambda prop, t_prop, c_prop: np.maximum(prop, np.maximum(t_prop, 0.0) > 0.0),
+    initial_prop=_source_flag_init,
+    uses_weights=False,
+)
+
+EXTENSION_ALGORITHMS: Dict[str, AlgorithmSpec] = {
+    spec.name: spec
+    for spec in (SPMV, DEGREE_COUNT, MAX_INCOMING, REACHABILITY)
+}
+
+
+def get_extension(name: str) -> AlgorithmSpec:
+    """Look up an extension algorithm by name."""
+    key = name.upper()
+    if key not in EXTENSION_ALGORITHMS:
+        raise KeyError(
+            f"unknown extension {name!r}; "
+            f"choose from {sorted(EXTENSION_ALGORITHMS)}"
+        )
+    return EXTENSION_ALGORITHMS[key]

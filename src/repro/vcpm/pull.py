@@ -1,0 +1,111 @@
+"""Pull-based VCPM execution.
+
+The paper's GraphDynS (like Graphicionado's main mode) is push-based:
+active sources scatter along out-edges.  The *pull* dual -- every
+destination gathers over its in-edges -- trades atomic-free reduction for
+redundant edge reads, and is how GPU frameworks typically run PageRank.
+The Gunrock model's pull path and the push-vs-pull example build on this
+module.
+
+Semantics: identical fixpoints to :func:`repro.vcpm.engine.run_vcpm` (the
+tests assert it), but the amount of edge work per iteration differs --
+pull processes the in-edges of every *checked* vertex, not the out-edges
+of every *active* one.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+from .engine import IterationTrace, VCPMResult, gather_edge_indices
+from .spec import AlgorithmSpec
+
+__all__ = ["run_vcpm_pull"]
+
+
+def run_vcpm_pull(
+    graph: CSRGraph,
+    spec: AlgorithmSpec,
+    source: Optional[int] = 0,
+    max_iterations: Optional[int] = None,
+    pr_tolerance: float = 1e-7,
+) -> VCPMResult:
+    """Execute ``spec`` in pull mode.
+
+    Every iteration gathers over the in-edges of all not-yet-stable
+    vertices.  Monotonic algorithms check every vertex whose property might
+    still improve (conservatively: all of them each iteration -- the pull
+    penalty); accumulating algorithms behave exactly like their push form.
+    """
+    num_vertices = graph.num_vertices
+    if max_iterations is None:
+        max_iterations = spec.default_max_iterations
+    if not spec.needs_source:
+        source = None
+    elif source is None:
+        raise ValueError(f"{spec.name} requires a source vertex")
+    elif num_vertices and not (0 <= source < num_vertices):
+        raise ValueError(f"source {source} out of range")
+
+    reverse = graph.reverse()
+    prop = spec.initial_prop(num_vertices, source)
+    deg = graph.out_degree().astype(np.float64)
+    c_prop = deg if spec.uses_degree_cprop else np.zeros(num_vertices)
+    if spec.uses_degree_cprop and num_vertices:
+        prop = prop / np.maximum(c_prop, 1.0)
+
+    all_vertices = np.arange(num_vertices, dtype=np.int64)
+    traces: List[IterationTrace] = []
+    converged = False
+
+    for iteration in range(max_iterations):
+        # Gather: tProp[v] = reduce over in-edges (u -> v).
+        t_prop = spec.initial_tprop(num_vertices)
+        edge_idx = gather_edge_indices(reverse.offsets, all_vertices)
+        gather_src = reverse.edges[edge_idx]  # the u of each in-edge
+        in_counts = np.diff(reverse.offsets)
+        gather_dst = np.repeat(all_vertices, in_counts)
+        weights = reverse.weights[edge_idx].astype(np.float64)
+        results = spec.process_edge(prop[gather_src], weights)
+        t_prop_before = t_prop.copy()
+        spec.reduce_op.ufunc.at(t_prop, gather_dst, results)
+        modified = np.flatnonzero(t_prop != t_prop_before)
+
+        apply_res = spec.apply(prop, t_prop, c_prop)
+        activated_mask = apply_res != prop
+        activated = np.flatnonzero(activated_mask)
+        old_prop = prop
+        prop = np.where(activated_mask, apply_res, prop)
+
+        traces.append(
+            IterationTrace(
+                iteration=iteration,
+                num_active=num_vertices,
+                num_edges=int(gather_dst.size),
+                num_modified=int(modified.size),
+                num_activated=int(activated.size),
+            )
+        )
+
+        if spec.resets_tprop_each_iteration:
+            delta = float(np.abs(prop - old_prop).sum())
+            if delta < pr_tolerance:
+                converged = True
+                break
+        else:
+            if activated.size == 0:
+                converged = True
+                break
+
+    return VCPMResult(
+        algorithm=spec.name,
+        graph_name=graph.name,
+        properties=prop,
+        iterations=traces,
+        converged=converged,
+        source=source,
+    )

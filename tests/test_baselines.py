@@ -1,0 +1,130 @@
+"""Graphicionado and Gunrock baseline model tests."""
+
+import numpy as np
+import pytest
+
+from repro.gpu import Gunrock, GunrockTimingModel, warp_divergence
+from repro.graphicionado import Graphicionado, GraphicionadoTimingModel
+from repro.graphdyns import GraphDynSTimingModel
+from repro.vcpm import ALGORITHMS, run_vcpm
+
+
+class TestGraphicionado:
+    def test_run_produces_report(self, medium_powerlaw):
+        result, report = Graphicionado().run(
+            medium_powerlaw, ALGORITHMS["SSSP"], source=0
+        )
+        assert report.system == "Graphicionado"
+        assert report.cycles > 0
+        assert report.iterations == result.num_iterations
+
+    def test_atomic_stalls_nonzero_on_skewed_graph(self, medium_powerlaw):
+        _, report = Graphicionado().run(
+            medium_powerlaw, ALGORITHMS["PR"], max_iterations=3
+        )
+        assert report.stall_cycles > 0
+
+    def test_full_vertex_apply(self, medium_powerlaw):
+        result, report = Graphicionado().run(
+            medium_powerlaw, ALGORITHMS["BFS"], source=0
+        )
+        assert report.update_operations == (
+            result.num_iterations * medium_powerlaw.num_vertices
+        )
+
+    def test_per_edge_scheduling(self, medium_powerlaw):
+        result, report = Graphicionado().run(
+            medium_powerlaw, ALGORITHMS["BFS"], source=0
+        )
+        assert report.scheduling_ops == result.total_edges_processed
+
+    def test_storage_includes_src_vid(self, medium_powerlaw):
+        _, gio = Graphicionado().run(
+            medium_powerlaw, ALGORITHMS["BFS"], source=0
+        )
+        gds_model = GraphDynSTimingModel(medium_powerlaw, ALGORITHMS["BFS"])
+        run_vcpm(
+            medium_powerlaw, ALGORITHMS["BFS"], source=0,
+            observers=[gds_model],
+        )
+        assert gio.storage_bytes > gds_model.report().storage_bytes
+
+    def test_slower_than_graphdyns(self, medium_powerlaw):
+        spec = ALGORITHMS["SSSP"]
+        gds = GraphDynSTimingModel(medium_powerlaw, spec)
+        gio = GraphicionadoTimingModel(medium_powerlaw, spec)
+        run_vcpm(medium_powerlaw, spec, source=0, observers=[gds, gio])
+        assert gio.total_cycles > gds.total_cycles
+
+
+class TestWarpDivergence:
+    def test_uniform_degrees_full_efficiency(self):
+        stats = warp_divergence(np.full(64, 5), warp_size=32)
+        assert stats.efficiency == 1.0
+        assert stats.excess_work == 0
+
+    def test_single_hot_vertex_serializes_warp(self):
+        degrees = np.ones(32, dtype=np.int64)
+        degrees[0] = 100
+        stats = warp_divergence(degrees, warp_size=32)
+        assert stats.serialized_work == 3200
+        assert stats.total_work == 131
+
+    def test_empty_frontier(self):
+        stats = warp_divergence(np.array([], dtype=np.int64))
+        assert stats.num_warps == 0
+        assert stats.efficiency == 1.0
+
+    def test_partial_warp_padded(self):
+        stats = warp_divergence(np.array([4, 4, 4]), warp_size=32)
+        assert stats.num_warps == 1
+        assert stats.serialized_work == 128
+
+
+class TestGunrock:
+    def test_run_produces_report(self, medium_powerlaw):
+        result, report = Gunrock().run(
+            medium_powerlaw, ALGORITHMS["SSSP"], source=0
+        )
+        assert report.system == "Gunrock"
+        assert report.cycles > 0
+        assert report.extra["warp_excess_work"] >= 0
+
+    def test_gpu_clock_in_report(self, small_powerlaw):
+        _, report = Gunrock().run(small_powerlaw, ALGORITHMS["BFS"], source=0)
+        assert report.frequency_hz == pytest.approx(1.25e9)
+
+    def test_idempotent_primitives_skip_atomics(self, medium_powerlaw):
+        _, bfs = Gunrock().run(medium_powerlaw, ALGORITHMS["BFS"], source=0)
+        _, sssp = Gunrock().run(medium_powerlaw, ALGORITHMS["SSSP"], source=0)
+        assert bfs.stall_cycles == 0
+        assert sssp.stall_cycles > 0
+
+    def test_metadata_traffic_present(self, medium_powerlaw):
+        from repro.memory import Region
+
+        _, report = Gunrock().run(medium_powerlaw, ALGORITHMS["SSSP"], source=0)
+        assert report.traffic.region_total(Region.METADATA) > 0
+
+    def test_cc_filtering_reduces_edge_count(self, medium_powerlaw):
+        result, report = Gunrock().run(medium_powerlaw, ALGORITHMS["CC"])
+        assert report.edges_processed < result.total_edges_processed
+
+    def test_storage_carries_metadata_overhead(self, medium_powerlaw):
+        _, gun = Gunrock().run(medium_powerlaw, ALGORITHMS["BFS"], source=0)
+        gds = GraphDynSTimingModel(medium_powerlaw, ALGORITHMS["BFS"])
+        run_vcpm(
+            medium_powerlaw, ALGORITHMS["BFS"], source=0, observers=[gds]
+        )
+        assert gun.storage_bytes > 2 * gds.report().storage_bytes
+
+    def test_slowest_of_the_three(self, medium_powerlaw):
+        spec = ALGORITHMS["SSSP"]
+        gds = GraphDynSTimingModel(medium_powerlaw, spec)
+        gio = GraphicionadoTimingModel(medium_powerlaw, spec)
+        gun = GunrockTimingModel(medium_powerlaw, spec)
+        run_vcpm(medium_powerlaw, spec, source=0, observers=[gds, gio, gun])
+        gds_s = gds.report().seconds
+        gio_s = gio.report().seconds
+        gun_s = gun.report().seconds
+        assert gds_s < gio_s < gun_s

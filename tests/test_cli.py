@@ -1,0 +1,57 @@
+"""CLI tests (direct main() invocation; no subprocesses)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.graph == "LJ"
+        assert args.algo == "SSSP"
+        assert args.system == "graphdyns"
+
+    def test_rejects_unknown_system(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--system", "tpu"])
+
+    def test_rejects_unknown_figure(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "fig99"])
+
+
+class TestCommands:
+    def test_datasets(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "LiveJournal" in out
+        assert "RMAT scale 26" in out
+
+    def test_run_graphdyns(self, capsys):
+        assert main(["run", "--graph", "FR", "--algo", "BFS"]) == 0
+        out = capsys.readouterr().out
+        assert "GraphDynS" in out
+        assert "GTEPS" in out
+
+    def test_run_baseline_system(self, capsys):
+        assert main(
+            ["run", "--graph", "FR", "--algo", "CC", "--system", "gunrock"]
+        ) == 0
+        assert "Gunrock" in capsys.readouterr().out
+
+    def test_compare(self, capsys):
+        assert main(["compare", "--graph", "FR", "--algo", "BFS"]) == 0
+        out = capsys.readouterr().out
+        for system in ("Gunrock", "Graphicionado", "GraphDynS"):
+            assert system in out
+
+    def test_figure_static(self, capsys):
+        assert main(["figure", "fig8", "table2"]) == 0
+        out = capsys.readouterr().out
+        assert "power/area" in out
+        assert "Process_Edge" in out

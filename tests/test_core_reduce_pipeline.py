@@ -1,0 +1,116 @@
+"""Zero-stall Reduce Pipeline (Fig. 5) tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    StallingReducePipeline,
+    ZeroStallReducePipeline,
+    count_raw_conflicts,
+)
+from repro.vcpm.spec import ReduceOp
+
+
+def sequential_fold(op: ReduceOp, ops, initial=None):
+    vb = dict(initial or {})
+    for addr, value in ops:
+        vb[addr] = op.scalar(vb.get(addr, op.identity), value)
+    return vb
+
+
+class TestZeroStall:
+    @pytest.mark.parametrize("op", list(ReduceOp))
+    def test_matches_sequential_fold(self, op):
+        rng = np.random.default_rng(1)
+        ops = [
+            (int(a), float(v))
+            for a, v in zip(rng.integers(0, 6, 300), rng.random(300))
+        ]
+        result = ZeroStallReducePipeline(op).run(ops)
+        assert result.vb == sequential_fold(op, ops)
+
+    def test_never_stalls(self):
+        ops = [(0, 1.0)] * 100  # worst case: every op hits one address
+        result = ZeroStallReducePipeline(ReduceOp.SUM).run(ops)
+        assert result.stall_cycles == 0
+        assert result.cycles == 100 + 2  # fill + drain only
+        assert result.vb == {0: 100.0}
+
+    def test_back_to_back_forwarding(self):
+        # Distance-1 hazard: EXE-stage forwarding path.
+        ops = [(5, 1.0), (5, 1.0)]
+        result = ZeroStallReducePipeline(ReduceOp.SUM).run(ops)
+        assert result.vb == {5: 2.0}
+
+    def test_distance_two_forwarding(self):
+        # Distance-2 hazard: RD-stage forwarding path.
+        ops = [(5, 1.0), (9, 1.0), (5, 1.0)]
+        result = ZeroStallReducePipeline(ReduceOp.SUM).run(ops)
+        assert result.vb[5] == 2.0
+
+    def test_initial_vb_respected(self):
+        result = ZeroStallReducePipeline(ReduceOp.MIN).run(
+            [(0, 5.0)], vb={0: 2.0}
+        )
+        assert result.vb[0] == 2.0
+
+    def test_empty_stream(self):
+        result = ZeroStallReducePipeline(ReduceOp.MIN).run([])
+        assert result.cycles == 0
+        assert result.throughput == 1.0
+
+    def test_throughput_approaches_one(self):
+        ops = [(i % 3, 1.0) for i in range(1000)]
+        result = ZeroStallReducePipeline(ReduceOp.SUM).run(ops)
+        assert result.throughput > 0.99
+
+
+class TestStalling:
+    @pytest.mark.parametrize("op", list(ReduceOp))
+    def test_correct_despite_stalls(self, op):
+        rng = np.random.default_rng(2)
+        ops = [
+            (int(a), float(v))
+            for a, v in zip(rng.integers(0, 4, 200), rng.random(200))
+        ]
+        result = StallingReducePipeline(op).run(ops)
+        assert result.vb == sequential_fold(op, ops)
+
+    def test_hot_address_stalls_heavily(self):
+        ops = [(0, 1.0)] * 50
+        result = StallingReducePipeline(ReduceOp.SUM).run(ops)
+        assert result.stall_cycles > 50  # ~2 bubbles per op
+        assert result.vb == {0: 50.0}
+
+    def test_conflict_free_stream_no_stalls(self):
+        ops = [(i, 1.0) for i in range(50)]
+        result = StallingReducePipeline(ReduceOp.SUM).run(ops)
+        assert result.stall_cycles == 0
+
+    def test_zero_stall_always_at_least_as_fast(self):
+        rng = np.random.default_rng(3)
+        ops = [
+            (int(a), float(v))
+            for a, v in zip(rng.integers(0, 8, 300), rng.random(300))
+        ]
+        fast = ZeroStallReducePipeline(ReduceOp.MIN).run(ops)
+        slow = StallingReducePipeline(ReduceOp.MIN).run(ops)
+        assert fast.cycles <= slow.cycles
+        assert fast.vb == slow.vb
+
+
+class TestConflictCounting:
+    def test_adjacent_conflict(self):
+        assert count_raw_conflicts(np.array([1, 1, 2]), depth=2) == 1
+
+    def test_depth_window(self):
+        dst = np.array([1, 2, 1])
+        assert count_raw_conflicts(dst, depth=1) == 0
+        assert count_raw_conflicts(dst, depth=2) == 1
+
+    def test_uniform_stream(self):
+        assert count_raw_conflicts(np.full(10, 3), depth=2) == 17
+
+    def test_empty_and_single(self):
+        assert count_raw_conflicts(np.array([]), 2) == 0
+        assert count_raw_conflicts(np.array([1]), 2) == 0

@@ -1,0 +1,108 @@
+"""Energy model and run-report metric tests."""
+
+import pytest
+
+from repro.energy import (
+    GRAPHDYNS_BUDGET,
+    GRAPHICIONADO_BUDGET,
+    HBM_PJ_PER_BIT,
+    graphdyns_energy,
+    graphicionado_energy,
+    gpu_energy_report,
+)
+from repro.graphdyns import GraphDynS
+from repro.graphicionado import Graphicionado
+from repro.vcpm import ALGORITHMS
+
+
+class TestBudgets:
+    def test_fig8_totals(self):
+        assert GRAPHDYNS_BUDGET.total_power_w == pytest.approx(3.38)
+        assert GRAPHDYNS_BUDGET.total_area_mm2 == pytest.approx(12.08)
+
+    def test_shares_sum_to_one(self):
+        GRAPHDYNS_BUDGET.validate()
+        GRAPHICIONADO_BUDGET.validate()
+
+    def test_updater_dominates_area(self):
+        # Fig. 8: Updater ~90% of area (32 MB eDRAM + crossbar).
+        assert GRAPHDYNS_BUDGET.area_shares["Updater"] > 0.85
+
+    def test_processor_dominates_power(self):
+        assert GRAPHDYNS_BUDGET.power_shares["Processor"] == pytest.approx(0.59)
+
+    def test_paper_ratios_to_graphicionado(self):
+        assert GRAPHDYNS_BUDGET.total_power_w / GRAPHICIONADO_BUDGET.total_power_w == pytest.approx(0.68)
+        assert GRAPHDYNS_BUDGET.total_area_mm2 / GRAPHICIONADO_BUDGET.total_area_mm2 == pytest.approx(0.57)
+
+    def test_hbm_constant(self):
+        assert HBM_PJ_PER_BIT == 7.0
+
+
+class TestEnergyReports:
+    @pytest.fixture(scope="class")
+    def gds_report(self, medium_powerlaw):
+        _, report = GraphDynS().run(
+            medium_powerlaw, ALGORITHMS["SSSP"], source=0
+        )
+        return report
+
+    def test_total_is_chip_plus_hbm(self, gds_report):
+        energy = graphdyns_energy(gds_report)
+        assert energy.total_j == pytest.approx(
+            energy.chip_energy_j + energy.hbm_energy_j
+        )
+
+    def test_hbm_dominates(self, gds_report):
+        # Fig. 10: ~92% of GraphDynS energy is HBM.
+        energy = graphdyns_energy(gds_report)
+        assert energy.hbm_fraction > 0.6
+
+    def test_breakdown_sums_to_one(self, gds_report):
+        energy = graphdyns_energy(gds_report)
+        assert sum(energy.breakdown().values()) == pytest.approx(1.0)
+
+    def test_hbm_energy_formula(self, gds_report):
+        energy = graphdyns_energy(gds_report)
+        expected = gds_report.total_traffic_bytes * 8 * 7.0 * 1e-12
+        assert energy.hbm_energy_j == pytest.approx(expected)
+
+    def test_normalization(self, gds_report):
+        energy = graphdyns_energy(gds_report)
+        assert energy.normalized_to(energy) == pytest.approx(1.0)
+
+    def test_gpu_report(self, gds_report):
+        energy = gpu_energy_report(gds_report, average_power_w=50.0)
+        assert energy.chip_energy_j == pytest.approx(50.0 * gds_report.seconds)
+
+    def test_graphicionado_less_efficient(self, medium_powerlaw):
+        _, gds = GraphDynS().run(medium_powerlaw, ALGORITHMS["SSSP"], source=0)
+        _, gio = Graphicionado().run(
+            medium_powerlaw, ALGORITHMS["SSSP"], source=0
+        )
+        assert (
+            graphicionado_energy(gio).total_j > graphdyns_energy(gds).total_j
+        )
+
+
+class TestRunReportMetrics:
+    @pytest.fixture(scope="class")
+    def report(self, medium_powerlaw):
+        _, report = GraphDynS().run(
+            medium_powerlaw, ALGORITHMS["BFS"], source=0
+        )
+        return report
+
+    def test_seconds_from_cycles(self, report):
+        assert report.seconds == pytest.approx(report.cycles / 1e9)
+
+    def test_gteps_definition(self, report):
+        assert report.gteps == pytest.approx(
+            report.edges_processed / report.seconds / 1e9
+        )
+
+    def test_speedup_identity(self, report):
+        assert report.speedup_over(report) == pytest.approx(1.0)
+
+    def test_utilization_bounded(self, report):
+        assert 0.0 <= report.bandwidth_utilization <= 1.0

@@ -1,0 +1,127 @@
+"""GPU model internals: the inefficiency sources, individually."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.gpu import GPUConfig, Gunrock, GunrockTimingModel
+from repro.vcpm import ALGORITHMS, run_vcpm
+
+
+class TestConfigKnobs:
+    def test_v100_constants(self):
+        cfg = GPUConfig()
+        assert cfg.frequency_hz == 1.25e9
+        assert cfg.num_cores == 5120
+        assert cfg.warp_size == 32
+        assert 0.0 <= cfg.l2_hit_rate <= 1.0
+        assert cfg.pull_l2_hit_rate <= cfg.l2_hit_rate
+
+    def test_kernel_overhead_scales_with_iterations(self, small_chain):
+        # A chain forces one iteration per hop: launch overhead dominates.
+        _, report = Gunrock().run(small_chain, ALGORITHMS["BFS"], source=0)
+        cfg = GPUConfig()
+        minimum = (
+            report.iterations
+            * cfg.kernels_per_iteration
+            * cfg.kernel_overhead_cycles
+        )
+        assert report.cycles >= minimum
+
+    def test_higher_l2_hit_reduces_traffic(self, medium_powerlaw):
+        spec = ALGORITHMS["SSSP"]
+        low = GunrockTimingModel(
+            medium_powerlaw, spec,
+            dataclasses.replace(GPUConfig(), l2_hit_rate=0.1),
+        )
+        high = GunrockTimingModel(
+            medium_powerlaw, spec,
+            dataclasses.replace(GPUConfig(), l2_hit_rate=0.9),
+        )
+        run_vcpm(medium_powerlaw, spec, source=0, observers=[low, high])
+        assert (
+            high.report().total_traffic_bytes
+            < low.report().total_traffic_bytes
+        )
+
+    def test_residual_divergence_slows_compute(self, medium_powerlaw):
+        spec = ALGORITHMS["SSSP"]
+        balanced = GunrockTimingModel(
+            medium_powerlaw, spec,
+            dataclasses.replace(GPUConfig(), residual_divergence=0.0),
+        )
+        divergent = GunrockTimingModel(
+            medium_powerlaw, spec,
+            dataclasses.replace(GPUConfig(), residual_divergence=1.0),
+        )
+        run_vcpm(
+            medium_powerlaw, spec, source=0, observers=[balanced, divergent]
+        )
+        b = sum(p.scatter_compute_cycles for p in balanced.phases)
+        d = sum(p.scatter_compute_cycles for p in divergent.phases)
+        assert d > b
+
+
+class TestPrimitiveSpecialization:
+    def test_bfs_moves_less_data_per_edge_than_sssp(self, medium_powerlaw):
+        # Idempotent status updates beat atomic-min sector gathers.
+        bfs = GunrockTimingModel(medium_powerlaw, ALGORITHMS["BFS"])
+        sssp = GunrockTimingModel(medium_powerlaw, ALGORITHMS["SSSP"])
+        run_vcpm(
+            medium_powerlaw, ALGORITHMS["BFS"], source=0, observers=[bfs]
+        )
+        run_vcpm(
+            medium_powerlaw, ALGORITHMS["SSSP"], source=0, observers=[sssp]
+        )
+        bfs_bytes = bfs.report().total_traffic_bytes / max(
+            bfs.edges_processed, 1
+        )
+        sssp_bytes = sssp.report().total_traffic_bytes / max(
+            sssp.edges_processed, 1
+        )
+        assert bfs_bytes < sssp_bytes
+        assert bfs.report().stall_cycles == 0
+        assert sssp.report().stall_cycles > 0
+
+    def test_pr_uses_pull_hit_rate(self, medium_powerlaw):
+        spec = ALGORITHMS["PR"]
+        default = GunrockTimingModel(medium_powerlaw, spec)
+        pull_friendly = GunrockTimingModel(
+            medium_powerlaw, spec,
+            dataclasses.replace(GPUConfig(), pull_l2_hit_rate=0.9),
+        )
+        run_vcpm(
+            medium_powerlaw, spec, max_iterations=3, pr_tolerance=0.0,
+            observers=[default, pull_friendly],
+        )
+        assert (
+            pull_friendly.report().total_traffic_bytes
+            < default.report().total_traffic_bytes
+        )
+
+    def test_cc_filter_factor_reduces_work(self, medium_powerlaw):
+        spec = ALGORITHMS["CC"]
+        weak = GunrockTimingModel(
+            medium_powerlaw, spec,
+            dataclasses.replace(GPUConfig(), cc_filter_work_factor=1.0),
+        )
+        strong = GunrockTimingModel(
+            medium_powerlaw, spec,
+            dataclasses.replace(GPUConfig(), cc_filter_work_factor=0.3),
+        )
+        run_vcpm(medium_powerlaw, spec, observers=[weak, strong])
+        assert strong.edges_processed < weak.edges_processed
+        assert strong.report().cycles < weak.report().cycles
+
+
+class TestReportShape:
+    def test_no_scheduling_ops_reported(self, small_powerlaw):
+        _, report = Gunrock().run(small_powerlaw, ALGORITHMS["BFS"], source=0)
+        assert report.scheduling_ops == 0  # not a dispatcher architecture
+
+    def test_vertices_processed_counts_modified(self, small_powerlaw):
+        result, report = Gunrock().run(
+            small_powerlaw, ALGORITHMS["BFS"], source=0
+        )
+        assert report.vertices_processed == result.total_updates

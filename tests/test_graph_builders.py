@@ -1,0 +1,132 @@
+"""Graph builder and preprocessing-transform tests."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    CSRGraph,
+    TransformCost,
+    deduplicate,
+    from_adjacency,
+    gini_coefficient,
+    power_law_graph,
+    relabel,
+    remove_self_loops,
+    sort_by_degree,
+    symmetrize,
+)
+
+
+class TestFromAdjacency:
+    def test_basic(self):
+        g = from_adjacency({0: [1, 2], 1: [2]})
+        assert g.num_vertices == 3
+        assert list(g.neighbors(0)) == [1, 2]
+
+    def test_explicit_vertex_count(self):
+        g = from_adjacency({0: [1]}, num_vertices=10)
+        assert g.num_vertices == 10
+
+    def test_empty(self):
+        g = from_adjacency({})
+        assert g.num_vertices == 0
+
+
+class TestSymmetrize:
+    def test_all_edges_bidirectional(self, tiny_graph):
+        sym, cost = symmetrize(tiny_graph)
+        edges = {(s, d) for s, d, _ in sym.iter_edges()}
+        assert all((d, s) in edges for s, d in edges)
+        assert cost.touched_bytes > 0
+
+    def test_already_symmetric_unchanged_count(self, small_grid):
+        sym, _ = symmetrize(small_grid)
+        assert sym.num_edges == small_grid.num_edges
+
+    def test_cost_seconds(self):
+        cost = TransformCost("x", touched_bytes=1000)
+        assert cost.seconds_at(1000.0) == pytest.approx(1.0)
+        with pytest.raises(ValueError):
+            cost.seconds_at(0)
+
+
+class TestDeduplicate:
+    def test_removes_duplicates(self):
+        g = CSRGraph.from_edge_list(3, [(0, 1), (0, 1), (1, 2)])
+        deduped, _ = deduplicate(g)
+        assert deduped.num_edges == 2
+
+    def test_keeps_first_weight(self):
+        g = CSRGraph.from_edge_list(
+            2, [(0, 1), (0, 1)], weights=[3.0, 9.0]
+        )
+        deduped, _ = deduplicate(g)
+        assert deduped.edge_weights(0)[0] == 3.0
+
+    def test_noop_on_simple_graph(self, tiny_graph):
+        deduped, _ = deduplicate(tiny_graph)
+        assert deduped.num_edges == tiny_graph.num_edges
+
+
+class TestRemoveSelfLoops:
+    def test_drops_loops(self):
+        g = CSRGraph.from_edge_list(3, [(0, 0), (0, 1), (2, 2)])
+        clean, _ = remove_self_loops(g)
+        assert clean.num_edges == 1
+        assert list(clean.neighbors(0)) == [1]
+
+
+class TestRelabel:
+    def test_reverse_permutation(self, tiny_graph):
+        perm = np.arange(tiny_graph.num_vertices)[::-1]
+        renamed = relabel(tiny_graph, perm)
+        old = {(s, d) for s, d, _ in tiny_graph.iter_edges()}
+        new = {(s, d) for s, d, _ in renamed.iter_edges()}
+        assert new == {(perm[s], perm[d]) for s, d in old}
+
+    def test_identity_permutation(self, tiny_graph):
+        renamed = relabel(tiny_graph, np.arange(tiny_graph.num_vertices))
+        assert sorted(renamed.iter_edges()) == sorted(tiny_graph.iter_edges())
+
+    def test_rejects_non_bijection(self, tiny_graph):
+        with pytest.raises(ValueError):
+            relabel(tiny_graph, np.zeros(tiny_graph.num_vertices, dtype=np.int64))
+
+    def test_rejects_wrong_shape(self, tiny_graph):
+        with pytest.raises(ValueError):
+            relabel(tiny_graph, np.arange(3))
+
+
+class TestSortByDegree:
+    def test_degrees_become_descending(self):
+        g = power_law_graph(500, 4000, seed=5)
+        sorted_g, cost = sort_by_degree(g)
+        degrees = sorted_g.out_degree()
+        assert np.all(np.diff(degrees) <= 0)
+        assert cost.touched_bytes > 0
+
+    def test_ascending_order(self):
+        g = power_law_graph(200, 1000, seed=6)
+        sorted_g, _ = sort_by_degree(g, descending=False)
+        degrees = sorted_g.out_degree()
+        assert np.all(np.diff(degrees) >= 0)
+
+    def test_structure_preserved(self, tiny_graph):
+        sorted_g, _ = sort_by_degree(tiny_graph)
+        assert sorted_g.num_edges == tiny_graph.num_edges
+        # Degree multiset unchanged.
+        assert sorted(sorted_g.out_degree()) == sorted(tiny_graph.out_degree())
+        assert gini_coefficient(sorted_g.out_degree()) == pytest.approx(
+            gini_coefficient(tiny_graph.out_degree())
+        )
+
+    def test_preserves_algorithm_results_up_to_relabel(self, small_powerlaw):
+        from repro.vcpm import ALGORITHMS, run_vcpm
+
+        sorted_g, _ = sort_by_degree(small_powerlaw)
+        original = run_vcpm(small_powerlaw, ALGORITHMS["CC"])
+        renamed = run_vcpm(sorted_g, ALGORITHMS["CC"])
+        # Component size multiset is invariant under relabeling.
+        _, counts_a = np.unique(original.properties, return_counts=True)
+        _, counts_b = np.unique(renamed.properties, return_counts=True)
+        assert sorted(counts_a.tolist()) == sorted(counts_b.tolist())

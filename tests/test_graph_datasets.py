@@ -1,0 +1,82 @@
+"""Dataset registry (Table 4 proxies) tests."""
+
+import pytest
+
+from repro.graph import DATASETS, REAL_WORLD, RMAT_SCALING, datasets
+
+
+class TestRegistry:
+    def test_eleven_datasets_registered(self):
+        assert len(DATASETS) == 11
+        assert len(REAL_WORLD) == 6
+        assert len(RMAT_SCALING) == 5
+
+    def test_table4_keys_present(self):
+        for key in ["FR", "PK", "LJ", "HO", "IN", "OR",
+                    "RM22", "RM23", "RM24", "RM25", "RM26"]:
+            assert key in DATASETS
+
+    def test_paper_dimensions_match_table4(self):
+        lj = DATASETS["LJ"]
+        assert lj.paper_vertices == 4_840_000
+        assert lj.paper_edges == 68_990_000
+        ho = DATASETS["HO"]
+        assert ho.paper_edges == 113_900_000
+
+    def test_proxy_preserves_edge_to_vertex_ratio(self):
+        for spec in REAL_WORLD:
+            paper_ratio = spec.paper_edges / spec.paper_vertices
+            proxy_ratio = spec.proxy_edges / spec.proxy_vertices
+            assert proxy_ratio == pytest.approx(paper_ratio, rel=0.02)
+
+    def test_rmat_scales_double(self):
+        vertices = [spec.proxy_vertices for spec in RMAT_SCALING]
+        for smaller, larger in zip(vertices, vertices[1:]):
+            assert larger == 2 * smaller
+
+    def test_rmat_edge_factor_16(self):
+        for spec in RMAT_SCALING:
+            assert spec.proxy_edges == spec.proxy_vertices * 16
+
+    def test_rmat_skew_matching_flattens_proxies(self):
+        # Proxy quadrant probabilities must be flatter than Graph500's
+        # 0.57 to compensate for the reduced scale.
+        for spec in RMAT_SCALING:
+            assert spec.rmat_a < 0.57
+            assert spec.rmat_a + 2 * spec.rmat_b <= 1.0
+
+    def test_hollywood_densest_real_graph(self):
+        ratios = {s.key: s.edge_to_vertex_ratio for s in REAL_WORLD}
+        assert max(ratios, key=ratios.get) == "HO"
+
+
+class TestLoading:
+    def test_load_builds_proxy_dimensions(self):
+        g = datasets.load("FR")
+        spec = DATASETS["FR"]
+        assert g.num_vertices == spec.proxy_vertices
+        assert g.num_edges == spec.proxy_edges
+
+    def test_load_caches(self):
+        a = datasets.load("FR")
+        b = datasets.load("FR")
+        assert a is b
+
+    def test_load_without_cache_rebuilds(self):
+        a = datasets.load("FR")
+        b = datasets.load("FR", use_cache=False)
+        assert a is not b
+        assert a.num_edges == b.num_edges
+
+    def test_load_unknown_raises(self):
+        with pytest.raises(KeyError):
+            datasets.load("NOPE")
+
+    def test_available_order(self):
+        keys = datasets.available()
+        assert keys[:6] == ["FR", "PK", "LJ", "HO", "IN", "OR"]
+        assert keys[6:] == ["RM22", "RM23", "RM24", "RM25", "RM26"]
+
+    def test_rmat_proxy_loads(self):
+        g = datasets.load("RM22")
+        assert g.num_vertices == 1 << 12

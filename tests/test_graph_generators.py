@@ -1,0 +1,140 @@
+"""Synthetic graph generator tests."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    chain_graph,
+    complete_graph,
+    grid_graph,
+    power_law_graph,
+    rmat_graph,
+    star_graph,
+    uniform_random_graph,
+)
+from repro.graph.properties import gini_coefficient
+
+
+class TestRMAT:
+    def test_dimensions(self):
+        g = rmat_graph(8, edge_factor=16, seed=1)
+        assert g.num_vertices == 256
+        assert g.num_edges == 256 * 16
+
+    def test_deterministic_by_seed(self):
+        a = rmat_graph(7, seed=3)
+        b = rmat_graph(7, seed=3)
+        assert np.array_equal(a.edges, b.edges)
+        assert np.array_equal(a.weights, b.weights)
+
+    def test_different_seeds_differ(self):
+        a = rmat_graph(7, seed=3)
+        b = rmat_graph(7, seed=4)
+        assert not np.array_equal(a.edges, b.edges)
+
+    def test_skewed_degrees(self):
+        g = rmat_graph(10, seed=5)
+        degrees = g.out_degree()
+        # RMAT is heavy-tailed: max degree well above the mean.
+        assert degrees.max() > 4 * degrees.mean()
+
+    def test_weights_in_paper_range(self):
+        g = rmat_graph(6, seed=2)
+        assert g.weights.min() >= 0
+        assert g.weights.max() <= 255
+
+    def test_rejects_bad_scale(self):
+        with pytest.raises(ValueError):
+            rmat_graph(0)
+
+    def test_rejects_bad_probabilities(self):
+        with pytest.raises(ValueError):
+            rmat_graph(5, a=0.5, b=0.4, c=0.4)
+
+    def test_flatter_probabilities_reduce_skew(self):
+        skewed = rmat_graph(10, a=0.57, b=0.19, c=0.19, seed=1)
+        flat = rmat_graph(10, a=0.3, b=0.23, c=0.23, seed=1)
+        assert (
+            gini_coefficient(skewed.out_degree())
+            > gini_coefficient(flat.out_degree())
+        )
+
+
+class TestPowerLaw:
+    def test_dimensions(self):
+        g = power_law_graph(1000, 8000, seed=1)
+        assert g.num_vertices == 1000
+        assert g.num_edges == 8000
+
+    def test_deterministic(self):
+        a = power_law_graph(200, 1000, seed=9)
+        b = power_law_graph(200, 1000, seed=9)
+        assert np.array_equal(a.edges, b.edges)
+
+    def test_heavy_tail(self):
+        g = power_law_graph(2000, 30000, seed=2)
+        degrees = g.out_degree()
+        assert degrees.max() > 3 * degrees.mean()
+
+    def test_max_share_caps_head(self):
+        capped = power_law_graph(2000, 40000, max_share=0.001, seed=3)
+        loose = power_law_graph(2000, 40000, max_share=0.05, seed=3)
+        assert capped.out_degree().max() < loose.out_degree().max()
+
+    def test_rejects_zero_vertices(self):
+        with pytest.raises(ValueError):
+            power_law_graph(0, 10)
+
+    def test_rejects_negative_edges(self):
+        with pytest.raises(ValueError):
+            power_law_graph(10, -1)
+
+    def test_zero_edges_allowed(self):
+        g = power_law_graph(10, 0, seed=1)
+        assert g.num_edges == 0
+
+
+class TestUniform:
+    def test_dimensions(self):
+        g = uniform_random_graph(100, 500, seed=1)
+        assert g.num_vertices == 100
+        assert g.num_edges == 500
+
+    def test_less_skewed_than_power_law(self):
+        uni = uniform_random_graph(1000, 16000, seed=4)
+        pl = power_law_graph(1000, 16000, seed=4)
+        assert (
+            gini_coefficient(uni.out_degree())
+            < gini_coefficient(pl.out_degree())
+        )
+
+
+class TestDeterministicShapes:
+    def test_grid_degree_bounds(self):
+        g = grid_graph(4, 5)
+        assert g.num_vertices == 20
+        degrees = g.out_degree()
+        assert degrees.min() == 2  # corners
+        assert degrees.max() == 4  # interior
+
+    def test_grid_is_symmetric(self):
+        g = grid_graph(3, 3)
+        edges = {(s, d) for s, d, _ in g.iter_edges()}
+        assert all((d, s) in edges for s, d in edges)
+
+    def test_chain_structure(self):
+        g = chain_graph(10)
+        assert g.num_edges == 9
+        assert list(g.neighbors(0)) == [1]
+        assert list(g.neighbors(9)) == []
+
+    def test_star_structure(self):
+        g = star_graph(5)
+        assert g.num_vertices == 6
+        assert g.out_degree(0) == 5
+        assert all(g.out_degree(i) == 0 for i in range(1, 6))
+
+    def test_complete_structure(self):
+        g = complete_graph(4)
+        assert g.num_edges == 12
+        assert all(g.out_degree(v) == 3 for v in range(4))

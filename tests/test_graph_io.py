@@ -1,0 +1,111 @@
+"""Graph file I/O round-trip tests."""
+
+import numpy as np
+import pytest
+
+from repro.graph import CSRGraph, GraphError
+from repro.graph import io as gio
+
+
+class TestNPZ:
+    def test_roundtrip(self, tiny_graph, tmp_path):
+        path = str(tmp_path / "g.npz")
+        gio.save_npz(tiny_graph, path)
+        loaded = gio.load_npz(path)
+        assert np.array_equal(loaded.offsets, tiny_graph.offsets)
+        assert np.array_equal(loaded.edges, tiny_graph.edges)
+        assert np.array_equal(loaded.weights, tiny_graph.weights)
+        assert loaded.name == tiny_graph.name
+
+    def test_empty_graph(self, tmp_path):
+        path = str(tmp_path / "e.npz")
+        gio.save_npz(CSRGraph.empty(4), path)
+        loaded = gio.load_npz(path)
+        assert loaded.num_vertices == 4
+        assert loaded.num_edges == 0
+
+
+class TestEdgeList:
+    def test_roundtrip_weighted(self, tiny_graph, tmp_path):
+        path = str(tmp_path / "g.el")
+        gio.save_edge_list(tiny_graph, path)
+        loaded = gio.load_edge_list(path, num_vertices=7)
+        assert sorted(loaded.iter_edges()) == sorted(tiny_graph.iter_edges())
+
+    def test_roundtrip_unweighted(self, tiny_graph, tmp_path):
+        path = str(tmp_path / "g.el")
+        gio.save_edge_list(tiny_graph, path, write_weights=False)
+        loaded = gio.load_edge_list(path, num_vertices=7)
+        assert np.all(loaded.weights == 1.0)
+        assert loaded.num_edges == tiny_graph.num_edges
+
+    def test_comments_and_blank_lines(self, tmp_path):
+        path = tmp_path / "c.el"
+        path.write_text("# header\n\n0 1\n% other comment\n1 2 5.5\n")
+        loaded = gio.load_edge_list(str(path))
+        assert loaded.num_vertices == 3
+        assert loaded.num_edges == 2
+        assert loaded.edge_weights(1)[0] == pytest.approx(5.5)
+
+    def test_vertex_count_inferred(self, tmp_path):
+        path = tmp_path / "i.el"
+        path.write_text("0 9\n")
+        assert gio.load_edge_list(str(path)).num_vertices == 10
+
+    def test_malformed_line_raises(self, tmp_path):
+        path = tmp_path / "bad.el"
+        path.write_text("42\n")
+        with pytest.raises(GraphError):
+            gio.load_edge_list(str(path))
+
+
+class TestMatrixMarket:
+    def test_roundtrip_real(self, tiny_graph, tmp_path):
+        path = str(tmp_path / "g.mtx")
+        gio.save_matrix_market(tiny_graph, path)
+        loaded = gio.load_matrix_market(path)
+        assert loaded.num_vertices == tiny_graph.num_vertices
+        assert sorted(loaded.iter_edges()) == sorted(tiny_graph.iter_edges())
+
+    def test_roundtrip_pattern(self, tiny_graph, tmp_path):
+        path = str(tmp_path / "p.mtx")
+        gio.save_matrix_market(tiny_graph, path, pattern=True)
+        loaded = gio.load_matrix_market(path)
+        assert loaded.num_edges == tiny_graph.num_edges
+        assert np.all(loaded.weights == 1.0)
+
+    def test_symmetric_mirrors_entries(self, tmp_path):
+        path = tmp_path / "s.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate real symmetric\n"
+            "3 3 2\n"
+            "2 1 4.0\n"
+            "3 3 1.0\n"
+        )
+        loaded = gio.load_matrix_market(str(path))
+        edges = {(s, d) for s, d, _ in loaded.iter_edges()}
+        assert edges == {(1, 0), (0, 1), (2, 2)}  # diagonal not doubled
+
+    def test_missing_header_raises(self, tmp_path):
+        path = tmp_path / "x.mtx"
+        path.write_text("1 1 0\n")
+        with pytest.raises(GraphError):
+            gio.load_matrix_market(str(path))
+
+    def test_dense_format_rejected(self, tmp_path):
+        path = tmp_path / "d.mtx"
+        path.write_text("%%MatrixMarket matrix array real general\n1 1\n0\n")
+        with pytest.raises(GraphError):
+            gio.load_matrix_market(str(path))
+
+
+class TestLoadAny:
+    def test_dispatch_by_extension(self, tiny_graph, tmp_path):
+        npz = str(tmp_path / "a.npz")
+        mtx = str(tmp_path / "a.mtx")
+        el = str(tmp_path / "a.el")
+        gio.save_npz(tiny_graph, npz)
+        gio.save_matrix_market(tiny_graph, mtx)
+        gio.save_edge_list(tiny_graph, el)
+        for path in (npz, mtx, el):
+            assert gio.load_any(path).num_edges == tiny_graph.num_edges

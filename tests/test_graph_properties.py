@@ -1,0 +1,109 @@
+"""Graph statistics (Fig. 2 support) tests."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    DEGREE_INTERVALS,
+    cacheline_locality,
+    degree_histogram,
+    degree_interval_counts,
+    gini_coefficient,
+    load_imbalance,
+    power_law_exponent_estimate,
+)
+from repro.graph.generators import power_law_graph, star_graph, uniform_random_graph
+
+
+class TestDegreeHistogram:
+    def test_counts_sum_to_vertices(self, tiny_graph):
+        hist = degree_histogram(tiny_graph)
+        assert sum(hist.values()) == tiny_graph.num_vertices
+
+    def test_exact_tiny(self, tiny_graph):
+        hist = degree_histogram(tiny_graph)
+        assert hist == {0: 1, 1: 3, 2: 2, 3: 1}
+
+
+class TestDegreeIntervals:
+    def test_paper_intervals_shape(self):
+        assert DEGREE_INTERVALS[0] == (0, 0)
+        assert DEGREE_INTERVALS[1] == (1, 2)
+        assert len(DEGREE_INTERVALS) == 8
+
+    def test_counts_partition_degrees(self):
+        degrees = np.array([0, 1, 2, 3, 5, 10, 20, 40, 100])
+        counts = degree_interval_counts(degrees)
+        assert sum(counts) == degrees.size
+
+    def test_exact_binning(self):
+        counts = degree_interval_counts(np.array([0, 2, 4, 8, 16, 32, 64, 65]))
+        assert counts == [1, 1, 1, 1, 1, 1, 1, 1]
+
+    def test_empty(self):
+        assert sum(degree_interval_counts(np.array([]))) == 0
+
+
+class TestGini:
+    def test_uniform_is_zero(self):
+        assert gini_coefficient(np.full(100, 7.0)) == pytest.approx(0.0, abs=1e-9)
+
+    def test_concentrated_near_one(self):
+        values = np.zeros(1000)
+        values[0] = 100.0
+        assert gini_coefficient(values) > 0.99
+
+    def test_empty_and_zero(self):
+        assert gini_coefficient(np.array([])) == 0.0
+        assert gini_coefficient(np.zeros(10)) == 0.0
+
+    def test_power_law_more_skewed_than_uniform(self):
+        pl = power_law_graph(1000, 10000, seed=1).out_degree()
+        uni = uniform_random_graph(1000, 10000, seed=1).out_degree()
+        assert gini_coefficient(pl) > gini_coefficient(uni)
+
+
+class TestLoadImbalance:
+    def test_balanced(self):
+        assert load_imbalance(np.array([5, 5, 5, 5])) == 1.0
+
+    def test_imbalanced(self):
+        assert load_imbalance(np.array([10, 0, 0, 0])) == 4.0
+
+    def test_degenerate(self):
+        assert load_imbalance(np.array([])) == 1.0
+        assert load_imbalance(np.zeros(4)) == 1.0
+
+
+class TestCachelineLocality:
+    def test_all_small_lists(self, small_chain):
+        # Chain: every vertex has <= 1 edge; everything fits a cacheline.
+        assert cacheline_locality(small_chain) == 1.0
+
+    def test_star_hub_exceeds(self, small_star):
+        # Hub has 40 edges (> 8 per 64B line); leaves have 0.
+        frac = cacheline_locality(small_star)
+        assert frac == pytest.approx(40 / 41)
+
+    def test_empty_graph(self):
+        from repro.graph import CSRGraph
+
+        assert cacheline_locality(CSRGraph.empty(0)) == 1.0
+
+    def test_paper_observation_on_power_law(self):
+        # "many active vertices only possess 4-8 edges": most edge lists
+        # fit one cacheline on a power-law graph with mean degree 8.
+        g = power_law_graph(5000, 40000, seed=8)
+        assert cacheline_locality(g) > 0.5
+
+
+class TestPowerLawExponent:
+    def test_estimates_in_plausible_range(self):
+        g = power_law_graph(20000, 200000, exponent=2.1, seed=3)
+        est = power_law_exponent_estimate(g, d_min=2)
+        assert 1.5 < est < 4.0
+
+    def test_nan_when_no_qualifying_vertices(self):
+        from repro.graph import CSRGraph
+
+        assert np.isnan(power_law_exponent_estimate(CSRGraph.empty(5)))

@@ -1,0 +1,67 @@
+"""Graph slicing (Section 4.2.1) tests."""
+
+import numpy as np
+import pytest
+
+from repro.graph import plan_slices
+from repro.graph.slicing import Slice
+
+
+class TestPlanSlices:
+    def test_single_slice_when_vb_fits(self):
+        plan = plan_slices(num_vertices=1000, vb_capacity_bytes=8000)
+        assert plan.num_slices == 1
+        assert not plan.is_sliced
+
+    def test_slice_count(self):
+        # 1000 vertices x 4B with 1000B VB -> 250 vertices/slice -> 4 slices.
+        plan = plan_slices(1000, 1000)
+        assert plan.num_slices == 4
+
+    def test_uneven_last_slice(self):
+        plan = plan_slices(1001, 1000)
+        assert plan.num_slices == 5
+        assert plan.slices[-1].num_vertices == 1
+
+    def test_slices_cover_vertex_space(self):
+        plan = plan_slices(997, 512)
+        covered = sum(s.num_vertices for s in plan)
+        assert covered == 997
+        boundaries = [s.vertex_lo for s in plan] + [plan.slices[-1].vertex_hi]
+        assert boundaries == sorted(boundaries)
+
+    def test_slice_of(self):
+        plan = plan_slices(1000, 1000)
+        assert plan.slice_of(0).index == 0
+        assert plan.slice_of(250).index == 1
+        assert plan.slice_of(999).index == 3
+
+    def test_contains(self):
+        s = Slice(index=0, vertex_lo=10, vertex_hi=20)
+        assert s.contains(10)
+        assert s.contains(19)
+        assert not s.contains(20)
+        assert not s.contains(9)
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            plan_slices(10, 0)
+
+    def test_zero_vertices(self):
+        plan = plan_slices(0, 1024)
+        assert plan.num_slices == 1
+        assert plan.slices[0].num_vertices == 0
+
+
+class TestEdgesPerSlice:
+    def test_partition_sums_to_total(self, tiny_graph):
+        plan = plan_slices(tiny_graph.num_vertices, 12)  # 3 vertices/slice
+        per_slice = plan.edges_per_slice(tiny_graph)
+        assert per_slice.sum() == tiny_graph.num_edges
+
+    def test_matches_subgraph_slice(self, tiny_graph):
+        plan = plan_slices(tiny_graph.num_vertices, 12)
+        per_slice = plan.edges_per_slice(tiny_graph)
+        for s in plan:
+            sub = tiny_graph.subgraph_slice(s.vertex_lo, s.vertex_hi)
+            assert per_slice[s.index] == sub.num_edges

@@ -1,0 +1,199 @@
+"""GraphDynS component micro-model tests (Dispatcher/Prefetcher/Processor/Updater)."""
+
+import numpy as np
+import pytest
+
+from repro.graphdyns import (
+    Dispatcher,
+    GraphDynSConfig,
+    Prefetcher,
+    Processor,
+    Updater,
+)
+from repro.vcpm import ALGORITHMS
+from repro.vcpm.optimized import ActiveVertex, dispatch_scatter
+
+
+@pytest.fixture()
+def config():
+    return GraphDynSConfig()
+
+
+def _records(graph, active, prop=None):
+    if prop is None:
+        prop = np.zeros(graph.num_vertices)
+    return dispatch_scatter(prop, graph.offsets, np.asarray(active))
+
+
+class TestDispatcher:
+    def test_small_list_single_workload(self, tiny_graph, config):
+        d = Dispatcher(config)
+        workloads = d.dispatch_scatter(_records(tiny_graph, [0]))
+        assert len(workloads) == 1
+        assert workloads[0].count == 3
+        assert d.scheduling_ops == 1
+
+    def test_large_list_splits(self, config):
+        d = Dispatcher(config)
+        record = ActiveVertex(prop=1.0, offset=0, edge_cnt=300)
+        workloads = d.dispatch_scatter([record])
+        assert len(workloads) == 3  # ceil(300/128)
+        assert sum(w.count for w in workloads) == 300
+        assert max(w.count for w in workloads) <= config.e_threshold
+
+    def test_split_covers_contiguous_range(self, config):
+        d = Dispatcher(config)
+        record = ActiveVertex(prop=0.0, offset=100, edge_cnt=500)
+        workloads = d.dispatch_scatter([record])
+        indices = np.concatenate([w.edge_indices() for w in workloads])
+        assert np.array_equal(np.sort(indices), np.arange(100, 600))
+
+    def test_round_robin_pe_assignment(self, config):
+        d = Dispatcher(config)
+        records = [ActiveVertex(0.0, i * 2, 2) for i in range(32)]
+        workloads = d.dispatch_scatter(records)
+        pes = [w.pe for w in workloads]
+        assert pes[:16] == list(range(16))
+
+    def test_apply_workloads_cover_vertices(self, config):
+        d = Dispatcher(config)
+        workloads = d.dispatch_apply(100)
+        assert sum(w.size for w in workloads) == 100
+        starts = [w.start_id for w in workloads]
+        assert starts == sorted(starts)
+
+    def test_pe_loads(self, config):
+        d = Dispatcher(config)
+        records = [ActiveVertex(0.0, 0, 10)]
+        workloads = d.dispatch_scatter(records)
+        loads = d.pe_loads(workloads)
+        assert loads.sum() == 10
+
+
+class TestPrefetcher:
+    def test_plan_counts(self, tiny_graph, config):
+        p = Prefetcher(config)
+        records = _records(tiny_graph, [0, 1])
+        plan = p.plan(records)
+        assert p.edges_fetched == 5
+        assert plan.total_bytes > 0
+
+    def test_epb_layout_matches_dispatch(self, tiny_graph, config):
+        d = Dispatcher(config)
+        p = Prefetcher(config)
+        records = _records(tiny_graph, [0, 1, 2])
+        workloads = d.dispatch_scatter(records)
+        layout = p.arrange_epb(workloads)
+        for pe in range(config.num_pes):
+            expected = [
+                idx
+                for w in workloads
+                if w.pe == pe
+                for idx in w.edge_indices()
+            ]
+            assert layout.ram_of_pe(pe) == expected
+
+    def test_all_edges_placed_exactly_once(self, small_powerlaw, config):
+        d = Dispatcher(config)
+        p = Prefetcher(config)
+        active = np.arange(small_powerlaw.num_vertices)
+        records = _records(small_powerlaw, active)
+        workloads = d.dispatch_scatter(records)
+        layout = p.arrange_epb(workloads)
+        placed = sorted(
+            idx for ram in layout.per_ram for idx in ram
+        )
+        assert placed == list(range(small_powerlaw.num_edges))
+
+
+class TestProcessor:
+    def test_scatter_results_match_expected(self, tiny_graph, config):
+        spec = ALGORITHMS["SSSP"]
+        prop = spec.initial_prop(7, 0)
+        d = Dispatcher(config)
+        records = _records(tiny_graph, [0], prop)
+        workloads = d.dispatch_scatter(records)
+        proc = Processor(spec, config)
+        results = proc.process_scatter(tiny_graph, workloads)
+        assert {(r.dst, r.value) for r in results} == {
+            (1, 3.0), (2, 99.0), (3, 1.0)
+        }
+
+    def test_edges_processed_counted(self, tiny_graph, config):
+        spec = ALGORITHMS["BFS"]
+        d = Dispatcher(config)
+        records = _records(tiny_graph, [0, 1])
+        proc = Processor(spec, config)
+        proc.process_scatter(tiny_graph, d.dispatch_scatter(records))
+        assert proc.edges_processed == 5
+
+    def test_apply_results(self, tiny_graph, config):
+        spec = ALGORITHMS["BFS"]
+        proc = Processor(spec, config)
+        d = Dispatcher(config)
+        prop = np.full(7, np.inf)
+        t_prop = np.full(7, np.inf)
+        t_prop[3] = 1.0
+        results = proc.process_apply(
+            d.dispatch_apply(7), prop, t_prop, np.zeros(7)
+        )
+        as_dict = dict(results)
+        assert as_dict[3] == 1.0
+        assert np.isinf(as_dict[0])
+
+
+class TestUpdater:
+    def test_scatter_update_reduces_and_marks(self, tiny_graph, config):
+        spec = ALGORITHMS["SSSP"]
+        prop = spec.initial_prop(7, 0)
+        d = Dispatcher(config)
+        proc = Processor(spec, config)
+        updater = Updater(7, spec, config)
+        workloads = d.dispatch_scatter(_records(tiny_graph, [0], prop))
+        results = proc.process_scatter(tiny_graph, workloads)
+        modified = updater.scatter_update(results)
+        assert set(modified.tolist()) == {1, 2, 3}
+        t_prop = updater.t_prop_array()
+        assert t_prop[1] == 3.0 and t_prop[3] == 1.0
+
+    def test_duplicate_updates_fold(self, config):
+        from repro.graphdyns.processor import EdgeResult
+
+        spec = ALGORITHMS["SSSP"]
+        updater = Updater(10, spec, config)
+        results = [
+            EdgeResult(dst=4, value=9.0, pe=0, lane=0),
+            EdgeResult(dst=4, value=3.0, pe=0, lane=1),
+            EdgeResult(dst=4, value=7.0, pe=1, lane=0),
+        ]
+        updater.scatter_update(results)
+        assert updater.t_prop_array()[4] == 3.0
+
+    def test_apply_update_activates_changed(self, config):
+        spec = ALGORITHMS["BFS"]
+        updater = Updater(5, spec, config)
+        prop = np.array([0.0, np.inf, np.inf, 2.0, np.inf])
+        activated = updater.apply_update(
+            [(0, 0.0), (1, 1.0), (3, 2.0)], prop
+        )
+        assert activated.tolist() == [1]
+        assert prop[1] == 1.0
+
+    def test_reset_clears_bitmap(self, config):
+        from repro.graphdyns.processor import EdgeResult
+
+        spec = ALGORITHMS["BFS"]
+        updater = Updater(300, spec, config)
+        updater.scatter_update([EdgeResult(10, 1.0, 0, 0)])
+        assert updater.bitmap.blocks_set == 1
+        updater.reset_for_next_iteration()
+        assert updater.bitmap.blocks_set == 0
+
+    def test_pr_reset_clears_vb(self, config):
+        from repro.graphdyns.processor import EdgeResult
+
+        spec = ALGORITHMS["PR"]
+        updater = Updater(10, spec, config)
+        updater.scatter_update([EdgeResult(1, 0.5, 0, 0)])
+        updater.reset_for_next_iteration()
+        assert updater.t_prop_array()[1] == 0.0

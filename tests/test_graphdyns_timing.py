@@ -1,0 +1,147 @@
+"""GraphDynS timing model tests: structure and ablation directionality."""
+
+import numpy as np
+import pytest
+
+from repro.graphdyns import GraphDynS, GraphDynSTimingModel
+from repro.graphdyns.config import DEFAULT_CONFIG
+from repro.vcpm import ALGORITHMS, run_vcpm
+
+
+def _run_model(graph, algo="SSSP", config=DEFAULT_CONFIG, **kwargs):
+    model = GraphDynSTimingModel(graph, ALGORITHMS[algo], config)
+    result = run_vcpm(
+        graph, ALGORITHMS[algo],
+        source=kwargs.pop("source", 0),
+        observers=[model],
+        **kwargs,
+    )
+    return result, model
+
+
+class TestReportStructure:
+    def test_cycles_positive(self, medium_powerlaw):
+        _, model = _run_model(medium_powerlaw)
+        report = model.report()
+        assert report.cycles > 0
+        assert report.gteps > 0
+        assert 0 < report.bandwidth_utilization <= 1.0
+
+    def test_one_phase_per_iteration(self, medium_powerlaw):
+        result, model = _run_model(medium_powerlaw)
+        assert len(model.phases) == result.num_iterations
+
+    def test_phase_totals_sum(self, medium_powerlaw):
+        _, model = _run_model(medium_powerlaw)
+        report = model.report()
+        assert report.cycles == pytest.approx(
+            report.scatter_cycles_total() + report.apply_cycles_total()
+        )
+
+    def test_edges_processed_matches_functional(self, medium_powerlaw):
+        result, model = _run_model(medium_powerlaw)
+        assert model.edges_processed == result.total_edges_processed
+
+    def test_scatter_bound_by_slowest_subdatapath(self, medium_powerlaw):
+        _, model = _run_model(medium_powerlaw)
+        for phase in model.phases:
+            if phase.scatter_cycles == 0:
+                continue
+            assert phase.scatter_cycles >= phase.scatter_compute_cycles
+            assert phase.scatter_cycles >= phase.scatter_memory_cycles
+            assert phase.scatter_cycles >= phase.scatter_update_cycles
+
+    def test_traffic_recorded(self, medium_powerlaw):
+        _, model = _run_model(medium_powerlaw)
+        report = model.report()
+        assert report.total_traffic_bytes > 0
+        assert report.traffic.total_read > report.traffic.total_write
+
+    def test_zero_stalls_with_atomic_optimization(self, medium_powerlaw):
+        _, model = _run_model(medium_powerlaw)
+        assert model.stall_cycles == 0
+
+
+class TestAblationDirectionality:
+    @pytest.fixture(scope="class")
+    def reports(self, medium_powerlaw):
+        configs = {
+            "full": DEFAULT_CONFIG,
+            "no_wb": DEFAULT_CONFIG.with_ablation(workload_balance=False),
+            "no_ep": DEFAULT_CONFIG.with_ablation(exact_prefetch=False),
+            "no_ao": DEFAULT_CONFIG.with_ablation(atomic_optimization=False),
+            "no_us": DEFAULT_CONFIG.with_ablation(update_scheduling=False),
+        }
+        models = {
+            name: GraphDynSTimingModel(
+                medium_powerlaw, ALGORITHMS["SSSP"], cfg
+            )
+            for name, cfg in configs.items()
+        }
+        run_vcpm(
+            medium_powerlaw, ALGORITHMS["SSSP"], source=0,
+            observers=list(models.values()),
+        )
+        return {name: m.report() for name, m in models.items()}
+
+    def test_full_config_fastest(self, reports):
+        # Tiny (<0.1%) rounding differences in lane packing are tolerated.
+        full = reports["full"].cycles
+        for name, report in reports.items():
+            assert report.cycles >= 0.999 * full, name
+
+    def test_disabling_ep_adds_traffic(self, reports):
+        assert (
+            reports["no_ep"].total_traffic_bytes
+            > reports["full"].total_traffic_bytes
+        )
+
+    def test_disabling_ao_adds_stalls(self, reports):
+        assert reports["no_ao"].stall_cycles > 0
+        assert reports["full"].stall_cycles == 0
+
+    def test_disabling_us_adds_update_operations(self, reports):
+        assert (
+            reports["no_us"].update_operations
+            > reports["full"].update_operations
+        )
+
+    def test_disabling_wb_adds_scheduling_ops(self, reports):
+        assert (
+            reports["no_wb"].scheduling_ops
+            > reports["full"].scheduling_ops
+        )
+
+
+class TestUEScaling:
+    def test_fewer_ues_never_faster(self, medium_powerlaw):
+        models = {
+            n: GraphDynSTimingModel(
+                medium_powerlaw, ALGORITHMS["PR"],
+                DEFAULT_CONFIG.with_num_ues(n),
+            )
+            for n in (32, 128)
+        }
+        run_vcpm(
+            medium_powerlaw, ALGORITHMS["PR"], max_iterations=3,
+            pr_tolerance=0.0, observers=list(models.values()),
+        )
+        assert models[32].total_cycles >= models[128].total_cycles
+
+
+class TestAcceleratorFacade:
+    def test_run_returns_consistent_pair(self, small_powerlaw):
+        result, report = GraphDynS().run(
+            small_powerlaw, ALGORITHMS["BFS"], source=0
+        )
+        assert report.system == "GraphDynS"
+        assert report.algorithm == "BFS"
+        assert report.iterations == result.num_iterations
+
+    def test_pr_high_throughput_on_dense_iterations(self, medium_powerlaw):
+        _, bfs = GraphDynS().run(medium_powerlaw, ALGORITHMS["BFS"], source=0)
+        _, pr = GraphDynS().run(
+            medium_powerlaw, ALGORITHMS["PR"], max_iterations=5
+        )
+        # PR streams every edge every iteration: far better GTEPS.
+        assert pr.gteps > bfs.gteps

@@ -1,0 +1,93 @@
+"""Component-level Graphicionado stream model tests."""
+
+import numpy as np
+import pytest
+
+from repro.graph import power_law_graph
+from repro.graphicionado import GraphicionadoStreams
+from repro.vcpm import ALGORITHMS, run_vcpm
+
+
+@pytest.fixture(scope="module")
+def stream_graph():
+    return power_law_graph(200, 900, seed=41, name="streams")
+
+
+def _finite_equal(a, b):
+    return np.array_equal(
+        np.nan_to_num(a, posinf=1e30, neginf=-1e30),
+        np.nan_to_num(b, posinf=1e30, neginf=-1e30),
+    )
+
+
+class TestFunctionalEquivalence:
+    @pytest.mark.parametrize("algo", ["BFS", "SSSP", "CC", "SSWP"])
+    def test_matches_engine(self, algo, stream_graph):
+        engine = run_vcpm(stream_graph, ALGORITHMS[algo], source=0)
+        streams = GraphicionadoStreams(ALGORITHMS[algo]).run(
+            stream_graph, source=0
+        )
+        assert streams.converged == engine.converged
+        assert _finite_equal(streams.properties, engine.properties)
+
+    def test_pagerank_matches(self, stream_graph):
+        engine = run_vcpm(
+            stream_graph, ALGORITHMS["PR"], max_iterations=4,
+            pr_tolerance=0.0,
+        )
+        streams = GraphicionadoStreams(ALGORITHMS["PR"]).run(
+            stream_graph, max_iterations=4
+        )
+        assert np.allclose(streams.properties, engine.properties)
+
+    def test_edges_processed_match_engine(self, stream_graph):
+        engine = run_vcpm(stream_graph, ALGORITHMS["SSSP"], source=0)
+        streams = GraphicionadoStreams(ALGORITHMS["SSSP"]).run(
+            stream_graph, source=0
+        )
+        assert streams.edges_processed == engine.total_edges_processed
+
+
+class TestDocumentedInefficiencies:
+    def test_sentinel_reads_one_per_active_vertex(self, stream_graph):
+        engine = run_vcpm(stream_graph, ALGORITHMS["BFS"], source=0)
+        streams = GraphicionadoStreams(ALGORITHMS["BFS"]).run(
+            stream_graph, source=0
+        )
+        # One probe per non-terminal active vertex (the last vertex's list
+        # ends the edge array, so it has no sentinel).
+        assert 0 < streams.sentinel_reads <= engine.total_active_vertices
+
+    def test_per_edge_scheduling(self, stream_graph):
+        streams = GraphicionadoStreams(ALGORITHMS["BFS"]).run(
+            stream_graph, source=0
+        )
+        assert streams.scheduling_ops == streams.edges_processed
+
+    def test_full_vertex_apply(self, stream_graph):
+        streams = GraphicionadoStreams(ALGORITHMS["BFS"]).run(
+            stream_graph, source=0
+        )
+        assert streams.apply_operations == (
+            streams.num_iterations * stream_graph.num_vertices
+        )
+
+    def test_atomic_stalls_on_contended_graph(self):
+        # A funnel: many sources update one destination in each round.
+        from repro.graph import CSRGraph
+
+        edges = [(i, 50) for i in range(50)]
+        graph = CSRGraph.from_edge_list(51, edges)
+        streams = GraphicionadoStreams(ALGORITHMS["CC"]).run(graph)
+        assert streams.atomic_stall_cycles > 0
+
+    def test_graphdyns_has_fewer_scheduling_ops(self, stream_graph):
+        from repro.graphdyns import GraphDynS
+
+        streams = GraphicionadoStreams(ALGORITHMS["SSSP"]).run(
+            stream_graph, source=0
+        )
+        component = GraphDynS().run_component_level(
+            stream_graph, ALGORITHMS["SSSP"], source=0
+        )
+        assert component.scheduling_ops < streams.scheduling_ops

@@ -1,0 +1,89 @@
+"""ASCII plotting and design-sweep tests."""
+
+import pytest
+
+from repro.harness.plots import bar_chart, grouped_bar_chart, line_series
+from repro.harness.sweeps import (
+    sweep_bitmap_block,
+    sweep_e_threshold,
+    sweep_n_simt,
+)
+
+
+class TestBarChart:
+    def test_bars_scale_to_max(self):
+        out = bar_chart({"a": 10.0, "b": 5.0}, width=10)
+        lines = out.splitlines()
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_title_and_unit(self):
+        out = bar_chart({"x": 1.0}, title="T", unit="ms")
+        assert out.startswith("T\n")
+        assert "1.00ms" in out
+
+    def test_empty(self):
+        assert bar_chart({}, title="nothing") == "nothing"
+
+    def test_zero_values(self):
+        out = bar_chart({"a": 0.0, "b": 0.0})
+        assert "#" not in out
+
+
+class TestGroupedBarChart:
+    def test_layout(self):
+        out = grouped_bar_chart(
+            ["g1", "g2"],
+            {"sys1": [1.0, 2.0], "sys2": [2.0, 4.0]},
+            width=8,
+        )
+        assert "g1:" in out and "g2:" in out
+        assert out.count("sys1") == 2
+
+    def test_rejects_ragged_series(self):
+        with pytest.raises(ValueError):
+            grouped_bar_chart(["g1"], {"s": [1.0, 2.0]})
+
+
+class TestLineSeries:
+    def test_markers_present(self):
+        out = line_series(
+            ["a", "b", "c"],
+            {"up": [1.0, 2.0, 3.0], "down": [3.0, 2.0, 1.0]},
+        )
+        assert "U" in out and "D" in out
+        assert "U=up" in out
+
+    def test_min_max_labels(self):
+        out = line_series(["x"], {"s": [5.0]})
+        assert "max 5.00" in out
+        assert "min 5.00" in out
+
+    def test_rejects_ragged(self):
+        with pytest.raises(ValueError):
+            line_series(["a"], {"s": [1.0, 2.0]})
+
+    def test_overlap_marker(self):
+        out = line_series(["a"], {"sys": [1.0], "rig": [1.0]})
+        assert "*" in out
+
+
+class TestSweeps:
+    """Sweeps on the small FR proxy to stay fast."""
+
+    def test_e_threshold_monotone_ops(self):
+        result = sweep_e_threshold("FR", "BFS", thresholds=(16, 128))
+        ops = [row[1] for row in result.rows]
+        assert ops[0] >= ops[1]
+
+    def test_n_simt_efficiency_decreases(self):
+        result = sweep_n_simt("FR", "BFS", lane_counts=(4, 16))
+        assert result.rows[0][1] >= result.rows[1][1] - 1e-9
+
+    def test_bitmap_block_slack_grows(self):
+        result = sweep_bitmap_block("FR", "BFS", block_sizes=(64, 512))
+        assert result.rows[0][2] <= result.rows[1][2]
+
+    def test_sweep_renders(self):
+        out = sweep_e_threshold("FR", "BFS", thresholds=(64,)).render()
+        assert "eThreshold" in out

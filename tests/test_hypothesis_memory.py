@@ -1,0 +1,119 @@
+"""Property-based tests for the memory substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory import (
+    AccessPattern,
+    HBM1_512GBS,
+    HBMModel,
+    Region,
+    TrafficLedger,
+)
+from repro.sim import Port
+
+
+class TestHBMProperties:
+    @given(
+        st.integers(1, 1 << 24),
+        st.floats(8.0, 1 << 20),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_cycles_at_least_ideal(self, total_bytes, run_bytes):
+        hbm = HBMModel(HBM1_512GBS)
+        pattern = AccessPattern(Region.EDGE, total_bytes, run_bytes)
+        cycles = hbm.pattern_cycles(pattern)
+        assert cycles >= hbm.ideal_cycles(total_bytes) * 0.999
+
+    @given(st.integers(1, 1 << 22))
+    @settings(max_examples=50, deadline=None)
+    def test_longer_runs_never_slower(self, total_bytes):
+        hbm = HBMModel(HBM1_512GBS)
+        short = hbm.pattern_cycles(
+            AccessPattern(Region.EDGE, total_bytes, 8.0)
+        )
+        longer = hbm.pattern_cycles(
+            AccessPattern(Region.EDGE, total_bytes, float(total_bytes))
+        )
+        assert longer <= short
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 1 << 16), st.booleans()),
+            max_size=20,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_service_accounting_consistent(self, specs):
+        hbm = HBMModel(HBM1_512GBS)
+        patterns = [
+            AccessPattern(Region.EDGE, nbytes, max(float(nbytes), 8.0),
+                          is_write=write)
+            for nbytes, write in specs
+        ]
+        hbm.service(patterns)
+        assert hbm.total_bytes == sum(n for n, _ in specs)
+        assert hbm.write_bytes == sum(n for n, w in specs if w)
+        assert hbm.energy_pj == pytest.approx(hbm.total_bytes * 8 * 7.0)
+
+    @given(st.integers(0, 1 << 20), st.integers(0, 1 << 20))
+    @settings(max_examples=50, deadline=None)
+    def test_service_additive_in_patterns(self, a, b):
+        one = HBMModel(HBM1_512GBS)
+        split = one.service(
+            [
+                AccessPattern(Region.EDGE, a, max(float(a), 8.0)),
+                AccessPattern(Region.OFFSET, b, max(float(b), 8.0)),
+            ]
+        )
+        two = HBMModel(HBM1_512GBS)
+        first = two.service([AccessPattern(Region.EDGE, a, max(float(a), 8.0))])
+        second = two.service(
+            [AccessPattern(Region.OFFSET, b, max(float(b), 8.0))]
+        )
+        assert split.cycles == pytest.approx(first.cycles + second.cycles)
+
+
+class TestLedgerProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(list(Region)),
+                st.integers(0, 1 << 20),
+                st.booleans(),
+            ),
+            max_size=30,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_totals_partition(self, entries):
+        ledger = TrafficLedger()
+        for region, nbytes, write in entries:
+            ledger.add(
+                AccessPattern(region, nbytes, max(float(nbytes), 1.0), write)
+            )
+        assert ledger.total == ledger.total_read + ledger.total_write
+        assert ledger.total == sum(
+            ledger.region_total(region) for region in Region
+        )
+
+
+class TestPortProperties:
+    @given(
+        st.lists(st.tuples(st.integers(0, 100), st.integers(0, 64)), max_size=30),
+        st.integers(1, 16),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_fcfs_never_reorders(self, requests, width):
+        port = Port(width)
+        done = 0
+        for cycle, items in requests:
+            finished = port.request(cycle, items)
+            assert finished >= cycle
+            if items > 0:
+                # Real work completes in issue order (FCFS); zero-item
+                # queries are free and don't advance the horizon.
+                assert finished >= done
+                done = finished

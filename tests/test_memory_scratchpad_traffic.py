@@ -1,0 +1,123 @@
+"""Scratchpad and traffic-ledger tests."""
+
+import numpy as np
+import pytest
+
+from repro.memory import (
+    AccessPattern,
+    BankedScratchpad,
+    Region,
+    ScratchpadConfig,
+    TrafficLedger,
+)
+
+
+@pytest.fixture()
+def vpb():
+    """16-RAM prefetch buffer, 8-wide vector ports (Fig. 4c)."""
+    return BankedScratchpad(
+        ScratchpadConfig(
+            name="VPB", num_banks=16, bank_bytes=4096,
+            items_per_bank_per_cycle=8,
+        )
+    )
+
+
+class TestScratchpadGeometry:
+    def test_total_bytes(self, vpb):
+        assert vpb.config.total_bytes == 16 * 4096
+
+    def test_capacity_items(self, vpb):
+        assert vpb.config.capacity_items(8) == 16 * 4096 // 8
+
+    def test_capacity_rejects_bad_item(self, vpb):
+        with pytest.raises(ValueError):
+            vpb.config.capacity_items(0)
+
+    def test_bank_hash(self, vpb):
+        assert vpb.bank_of(17) == 1
+        assert vpb.bank_of(16) == 0
+
+
+class TestScratchpadAccess:
+    def test_single_access_latency(self, vpb):
+        assert vpb.access(cycle=0, key=3) == 1
+
+    def test_same_bank_serializes(self, vpb):
+        first = vpb.access(0, key=0, items=8)
+        second = vpb.access(0, key=16, items=8)  # same bank 0
+        assert second > first
+
+    def test_different_banks_parallel(self, vpb):
+        a = vpb.access(0, key=0, items=8)
+        b = vpb.access(0, key=1, items=8)
+        assert a == b
+
+    def test_batch_cycles_balanced(self, vpb):
+        keys = np.arange(128)  # 8 per bank
+        assert vpb.batch_cycles(keys) == 1
+
+    def test_batch_cycles_hot_bank(self, vpb):
+        keys = np.zeros(64, dtype=np.int64)  # all bank 0
+        assert vpb.batch_cycles(keys) == 8
+
+    def test_batch_empty(self, vpb):
+        assert vpb.batch_cycles(np.zeros(0, dtype=np.int64)) == 0
+
+    def test_dual_ported_doubles_throughput(self):
+        single = BankedScratchpad(
+            ScratchpadConfig("vb", 1, 1024, items_per_bank_per_cycle=8)
+        )
+        dual = BankedScratchpad(
+            ScratchpadConfig(
+                "vb", 1, 1024, items_per_bank_per_cycle=8, dual_ported=True
+            )
+        )
+        keys = np.zeros(32, dtype=np.int64)
+        assert dual.batch_cycles(keys) * 2 == single.batch_cycles(keys)
+
+    def test_reset(self, vpb):
+        vpb.access(0, 0, 4)
+        vpb.reset()
+        assert vpb.total_accesses == 0
+
+
+class TestTrafficLedger:
+    def test_add_and_totals(self):
+        ledger = TrafficLedger()
+        ledger.add(AccessPattern(Region.EDGE, 100, 100.0))
+        ledger.add(AccessPattern(Region.EDGE, 50, 50.0, is_write=True))
+        assert ledger.total_read == 100
+        assert ledger.total_write == 50
+        assert ledger.region_total(Region.EDGE) == 150
+
+    def test_breakdown_hides_empty_regions(self):
+        ledger = TrafficLedger()
+        ledger.add(AccessPattern(Region.OFFSET, 10, 10.0))
+        assert ledger.breakdown() == {"offset": 10}
+
+    def test_merge(self):
+        a, b = TrafficLedger(), TrafficLedger()
+        a.add(AccessPattern(Region.EDGE, 10, 10.0))
+        b.add(AccessPattern(Region.EDGE, 5, 5.0))
+        a.merge(b)
+        assert a.region_total(Region.EDGE) == 15
+
+    def test_normalized_to(self):
+        a, b = TrafficLedger(), TrafficLedger()
+        a.add(AccessPattern(Region.EDGE, 30, 30.0))
+        b.add(AccessPattern(Region.EDGE, 60, 60.0))
+        assert a.normalized_to(b) == pytest.approx(0.5)
+
+    def test_normalized_to_empty_baseline(self):
+        assert TrafficLedger().normalized_to(TrafficLedger()) == 0.0
+
+    def test_add_all(self):
+        ledger = TrafficLedger()
+        ledger.add_all(
+            [
+                AccessPattern(Region.EDGE, 10, 10.0),
+                AccessPattern(Region.VERTEX_PROP, 20, 20.0),
+            ]
+        )
+        assert ledger.total == 30

@@ -1,0 +1,214 @@
+"""Discrete-event kernel tests: clock, queues, ports, engine."""
+
+import pytest
+
+from repro.sim import (
+    BoundedQueue,
+    Clock,
+    DoubleBuffer,
+    EventEngine,
+    Port,
+    QueueEmptyError,
+    QueueFullError,
+)
+
+
+class TestClock:
+    def test_starts_at_zero(self):
+        assert Clock().cycle == 0
+
+    def test_tick_advances(self):
+        clock = Clock()
+        assert clock.tick() == 1
+        assert clock.tick(5) == 6
+
+    def test_advance_to_never_rewinds(self):
+        clock = Clock()
+        clock.advance_to(10)
+        clock.advance_to(5)
+        assert clock.cycle == 10
+
+    def test_seconds_at_frequency(self):
+        clock = Clock(frequency_hz=1e9)
+        clock.tick(1000)
+        assert clock.seconds == pytest.approx(1e-6)
+
+    def test_rejects_negative_tick(self):
+        with pytest.raises(ValueError):
+            Clock().tick(-1)
+
+    def test_rejects_bad_frequency(self):
+        with pytest.raises(ValueError):
+            Clock(frequency_hz=0)
+
+    def test_reset(self):
+        clock = Clock()
+        clock.tick(7)
+        clock.reset()
+        assert clock.cycle == 0
+
+
+class TestBoundedQueue:
+    def test_fifo_order(self):
+        q = BoundedQueue(4)
+        for i in range(3):
+            q.push(i)
+        assert [q.pop() for _ in range(3)] == [0, 1, 2]
+
+    def test_full_raises(self):
+        q = BoundedQueue(1)
+        q.push("a")
+        with pytest.raises(QueueFullError):
+            q.push("b")
+        assert q.rejected_pushes == 1
+
+    def test_try_push(self):
+        q = BoundedQueue(1)
+        assert q.try_push(1)
+        assert not q.try_push(2)
+
+    def test_empty_pop_raises(self):
+        with pytest.raises(QueueEmptyError):
+            BoundedQueue(1).pop()
+
+    def test_peek_does_not_remove(self):
+        q = BoundedQueue(2)
+        q.push("x")
+        assert q.peek() == "x"
+        assert len(q) == 1
+
+    def test_drain(self):
+        q = BoundedQueue(4)
+        for i in range(4):
+            q.push(i)
+        assert q.drain() == [0, 1, 2, 3]
+        assert q.is_empty
+
+    def test_occupancy_stats(self):
+        q = BoundedQueue(4)
+        for i in range(3):
+            q.push(i)
+        q.pop()
+        assert q.max_occupancy == 3
+        assert q.total_pushes == 3
+        assert q.total_pops == 1
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            BoundedQueue(0)
+
+
+class TestDoubleBuffer:
+    def test_push_until_full(self):
+        buf = DoubleBuffer(2)
+        assert buf.push(1)
+        assert buf.push(2)
+        assert not buf.push(3)  # front full -> caller must swap
+
+    def test_swap_and_drain(self):
+        buf = DoubleBuffer(2)
+        buf.push(1)
+        buf.push(2)
+        buf.swap()
+        assert buf.drain_back() == [1, 2]
+        assert buf.push(3)  # front is the old (now empty) back
+
+    def test_swap_pressure_counted(self):
+        buf = DoubleBuffer(2)
+        buf.push(1)
+        buf.swap()
+        buf.swap()  # back still holds item 1
+        assert buf.swaps_while_back_nonempty == 1
+
+
+class TestPort:
+    def test_width_one_serializes(self):
+        port = Port(1)
+        done = port.request(cycle=0, items=3)
+        assert done == 3
+
+    def test_vector_width(self):
+        port = Port(8)
+        assert port.request(0, 8) == 1
+        assert port.request(1, 9) == 3  # two more cycles
+
+    def test_backpressure_from_earlier_request(self):
+        port = Port(1)
+        port.request(0, 5)
+        assert port.request(2, 1) == 6  # waits for the first batch
+
+    def test_zero_items(self):
+        port = Port(4)
+        assert port.request(7, 0) == 7
+
+    def test_utilization(self):
+        port = Port(1)
+        port.request(0, 5)
+        assert port.utilization(10) == pytest.approx(0.5)
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(ValueError):
+            Port(0)
+
+
+class TestEventEngine:
+    def test_runs_in_cycle_order(self):
+        engine = EventEngine()
+        order = []
+        engine.schedule(5, lambda: order.append("b"))
+        engine.schedule(1, lambda: order.append("a"))
+        engine.run()
+        assert order == ["a", "b"]
+        assert engine.current_cycle == 5
+
+    def test_same_cycle_fifo(self):
+        engine = EventEngine()
+        order = []
+        for tag in "abc":
+            engine.schedule(2, lambda t=tag: order.append(t))
+        engine.run()
+        assert order == ["a", "b", "c"]
+
+    def test_events_can_schedule_events(self):
+        engine = EventEngine()
+        hits = []
+
+        def chain(n):
+            hits.append(n)
+            if n < 3:
+                engine.schedule(1, lambda: chain(n + 1))
+
+        engine.schedule(0, lambda: chain(0))
+        engine.run()
+        assert hits == [0, 1, 2, 3]
+        assert engine.current_cycle == 3
+
+    def test_run_until(self):
+        engine = EventEngine()
+        hits = []
+        engine.schedule(1, lambda: hits.append(1))
+        engine.schedule(10, lambda: hits.append(10))
+        engine.run_until(5)
+        assert hits == [1]
+        assert engine.pending == 1
+
+    def test_rejects_past_scheduling(self):
+        engine = EventEngine()
+        engine.schedule(3, lambda: None)
+        engine.run()
+        with pytest.raises(ValueError):
+            engine.schedule_at(1, lambda: None)
+
+    def test_rejects_negative_delay(self):
+        with pytest.raises(ValueError):
+            EventEngine().schedule(-1, lambda: None)
+
+    def test_livelock_guard(self):
+        engine = EventEngine()
+
+        def forever():
+            engine.schedule(1, forever)
+
+        engine.schedule(0, forever)
+        with pytest.raises(RuntimeError):
+            engine.run(max_events=100)

@@ -1,0 +1,76 @@
+"""Activity trace recorder tests."""
+
+import pytest
+
+from repro.sim import ActivityTrace
+
+
+class TestRecording:
+    def test_records_events(self):
+        trace = ActivityTrace()
+        trace.record(0, "PE0", "issue")
+        trace.record(1, "PE0", "issue")
+        trace.record(1, "UE3", "reduce", "v42")
+        assert len(trace) == 3
+        assert trace.events_for("PE0")[1].cycle == 1
+        assert trace.events_for("UE3")[0].detail == "v42"
+
+    def test_drop_past_capacity(self):
+        trace = ActivityTrace(max_events=2)
+        for cycle in range(5):
+            trace.record(cycle, "u", "e")
+        assert len(trace) == 2
+        assert trace.dropped == 3
+
+    def test_span(self):
+        trace = ActivityTrace()
+        assert trace.span() == 0
+        trace.record(7, "u", "e")
+        assert trace.span() == 8
+
+
+class TestStatistics:
+    def test_busy_cycles_dedupes(self):
+        trace = ActivityTrace()
+        trace.record(0, "u", "a")
+        trace.record(0, "u", "b")
+        trace.record(2, "u", "c")
+        assert trace.busy_cycles("u") == 2
+
+    def test_utilization(self):
+        trace = ActivityTrace()
+        trace.record(0, "u", "a")
+        trace.record(3, "u", "b")  # span 4, busy 2
+        assert trace.utilization("u") == pytest.approx(0.5)
+
+    def test_summary(self):
+        trace = ActivityTrace()
+        trace.record(0, "a", "x")
+        trace.record(0, "b", "x")
+        trace.record(1, "a", "x")
+        summary = trace.summary()
+        assert summary["a"] == (2, 1.0)
+        assert summary["b"][0] == 1
+
+
+class TestTimeline:
+    def test_rows_and_columns(self):
+        trace = ActivityTrace()
+        trace.record(0, "PE0", "issue")
+        trace.record(2, "PE0", "issue")
+        trace.record(1, "UE0", "reduce")
+        timeline = trace.render_timeline()
+        lines = timeline.splitlines()
+        assert len(lines) == 3  # header + 2 units
+        assert lines[1].endswith("#.#")
+        assert lines[2].endswith(".#.")
+
+    def test_empty(self):
+        assert ActivityTrace().render_timeline() == "(empty trace)"
+
+    def test_window(self):
+        trace = ActivityTrace()
+        trace.record(0, "u", "a")
+        trace.record(5, "u", "b")
+        timeline = trace.render_timeline(first_cycle=4, last_cycle=5)
+        assert timeline.splitlines()[1].endswith(".#")

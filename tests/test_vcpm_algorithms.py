@@ -1,0 +1,121 @@
+"""Table 2 algorithm definition tests."""
+
+import numpy as np
+import pytest
+
+from repro.vcpm import (
+    ALGORITHMS,
+    BFS,
+    CC,
+    PAGERANK,
+    PR_ALPHA,
+    PR_BETA,
+    SSSP,
+    SSWP,
+    algorithm_names,
+    get_algorithm,
+)
+from repro.vcpm.spec import ReduceOp
+
+
+class TestTable2Functions:
+    def test_bfs_process_edge_is_hop_increment(self):
+        res = BFS.process_edge(np.array([3.0]), np.array([99.0]))
+        assert res[0] == 4.0  # weight ignored
+
+    def test_sssp_process_edge_adds_weight(self):
+        res = SSSP.process_edge(np.array([3.0]), np.array([2.5]))
+        assert res[0] == 5.5
+
+    def test_cc_process_edge_propagates_label(self):
+        res = CC.process_edge(np.array([7.0]), np.array([123.0]))
+        assert res[0] == 7.0
+
+    def test_sswp_process_edge_is_min_of_width_and_weight(self):
+        res = SSWP.process_edge(np.array([4.0]), np.array([9.0]))
+        assert res[0] == 4.0
+        res = SSWP.process_edge(np.array([4.0]), np.array([2.0]))
+        assert res[0] == 2.0
+
+    def test_pr_process_edge_passes_scaled_rank(self):
+        res = PAGERANK.process_edge(np.array([0.125]), np.array([5.0]))
+        assert res[0] == 0.125
+
+    def test_reduce_ops_match_table2(self):
+        assert BFS.reduce_op is ReduceOp.MIN
+        assert SSSP.reduce_op is ReduceOp.MIN
+        assert CC.reduce_op is ReduceOp.MIN
+        assert SSWP.reduce_op is ReduceOp.MAX
+        assert PAGERANK.reduce_op is ReduceOp.SUM
+
+    def test_pr_apply_formula(self):
+        # (alpha + beta * tProp) / deg from Table 2.
+        res = PAGERANK.apply(np.array([0.0]), np.array([0.4]), np.array([4.0]))
+        assert res[0] == pytest.approx((PR_ALPHA + PR_BETA * 0.4) / 4.0)
+
+    def test_pr_apply_guards_zero_degree(self):
+        res = PAGERANK.apply(np.array([0.0]), np.array([0.4]), np.array([0.0]))
+        assert np.isfinite(res[0])
+
+    def test_min_apply(self):
+        res = BFS.apply(np.array([5.0]), np.array([3.0]), np.array([0.0]))
+        assert res[0] == 3.0
+
+    def test_max_apply(self):
+        res = SSWP.apply(np.array([2.0]), np.array([6.0]), np.array([0.0]))
+        assert res[0] == 6.0
+
+
+class TestInitialization:
+    def test_bfs_source_at_zero(self):
+        prop = BFS.initial_prop(4, 2)
+        assert prop[2] == 0.0
+        assert np.isinf(prop[[0, 1, 3]]).all()
+
+    def test_sswp_source_at_infinity(self):
+        prop = SSWP.initial_prop(4, 1)
+        assert prop[1] == float("inf")
+        assert np.all(prop[[0, 2, 3]] == 0.0)
+
+    def test_cc_labels_are_vertex_ids(self):
+        prop = CC.initial_prop(5, None)
+        assert prop.tolist() == [0.0, 1.0, 2.0, 3.0, 4.0]
+
+    def test_pr_uniform(self):
+        prop = PAGERANK.initial_prop(4, None)
+        assert np.allclose(prop, 0.25)
+
+    def test_pr_empty_graph(self):
+        assert PAGERANK.initial_prop(0, None).size == 0
+
+
+class TestMetadata:
+    def test_weighted_flags(self):
+        assert SSSP.uses_weights and SSWP.uses_weights
+        assert not BFS.uses_weights
+        assert not CC.uses_weights
+        assert not PAGERANK.uses_weights
+
+    def test_initially_all_active(self):
+        assert CC.all_vertices_active_initially
+        assert PAGERANK.all_vertices_active_initially
+        assert not BFS.all_vertices_active_initially
+
+    def test_only_pr_uses_degree_cprop(self):
+        assert PAGERANK.uses_degree_cprop
+        assert not any(
+            s.uses_degree_cprop for n, s in ALGORITHMS.items() if n != "PR"
+        )
+
+
+class TestLookup:
+    def test_names_in_paper_order(self):
+        assert algorithm_names() == ["BFS", "SSSP", "CC", "SSWP", "PR"]
+
+    def test_case_insensitive(self):
+        assert get_algorithm("bfs") is BFS
+        assert get_algorithm("PageRank") is PAGERANK
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_algorithm("dijkstra")

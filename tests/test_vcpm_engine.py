@@ -1,0 +1,237 @@
+"""Functional engine tests: correctness against references, traces, hooks."""
+
+import numpy as np
+import pytest
+
+from repro.vcpm import (
+    ALGORITHMS,
+    gather_edge_indices,
+    get_algorithm,
+    reference,
+    run_vcpm,
+)
+
+
+def _finite_equal(a, b):
+    return np.array_equal(
+        np.nan_to_num(a, posinf=1e30), np.nan_to_num(b, posinf=1e30)
+    )
+
+
+class TestGatherEdgeIndices:
+    def test_contiguous_expansion(self, tiny_graph):
+        active = np.array([0, 1])
+        idx = gather_edge_indices(tiny_graph.offsets, active)
+        assert idx.tolist() == [0, 1, 2, 3, 4]
+
+    def test_skips_inactive(self, tiny_graph):
+        idx = gather_edge_indices(tiny_graph.offsets, np.array([2, 4]))
+        assert idx.tolist() == [5, 7, 8]
+
+    def test_zero_degree_vertex(self, tiny_graph):
+        idx = gather_edge_indices(tiny_graph.offsets, np.array([6]))
+        assert idx.size == 0
+
+    def test_empty_active(self, tiny_graph):
+        idx = gather_edge_indices(tiny_graph.offsets, np.zeros(0, dtype=np.int64))
+        assert idx.size == 0
+
+    def test_order_preserved(self, tiny_graph):
+        # Active order (4, then 0) must be reflected in the index stream.
+        idx = gather_edge_indices(tiny_graph.offsets, np.array([4, 0]))
+        assert idx.tolist() == [7, 8, 0, 1, 2]
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("fixture_name", [
+        "tiny_graph", "small_powerlaw", "small_grid", "small_chain",
+        "disconnected_graph",
+    ])
+    def test_bfs_matches_reference(self, fixture_name, request):
+        g = request.getfixturevalue(fixture_name)
+        result = run_vcpm(g, ALGORITHMS["BFS"], source=0)
+        assert _finite_equal(result.properties, reference.bfs_levels(g, 0))
+
+    @pytest.mark.parametrize("fixture_name", [
+        "tiny_graph", "small_powerlaw", "small_grid",
+    ])
+    def test_sssp_matches_dijkstra(self, fixture_name, request):
+        g = request.getfixturevalue(fixture_name)
+        result = run_vcpm(g, ALGORITHMS["SSSP"], source=0)
+        assert _finite_equal(result.properties, reference.sssp_distances(g, 0))
+
+    @pytest.mark.parametrize("fixture_name", [
+        "tiny_graph", "small_powerlaw", "disconnected_graph",
+    ])
+    def test_cc_matches_label_propagation(self, fixture_name, request):
+        g = request.getfixturevalue(fixture_name)
+        result = run_vcpm(g, ALGORITHMS["CC"])
+        assert np.array_equal(result.properties, reference.cc_labels(g))
+
+    @pytest.mark.parametrize("fixture_name", [
+        "tiny_graph", "small_powerlaw", "small_grid",
+    ])
+    def test_sswp_matches_widest_path(self, fixture_name, request):
+        g = request.getfixturevalue(fixture_name)
+        result = run_vcpm(g, ALGORITHMS["SSWP"], source=0)
+        assert np.array_equal(result.properties, reference.sswp_widths(g, 0))
+
+    @pytest.mark.parametrize("fixture_name", ["tiny_graph", "small_powerlaw"])
+    def test_pagerank_matches_power_iteration(self, fixture_name, request):
+        g = request.getfixturevalue(fixture_name)
+        result = run_vcpm(
+            g, ALGORITHMS["PR"], max_iterations=8, pr_tolerance=0.0
+        )
+        expected = reference.pagerank_scores(g, iterations=8)
+        assert np.allclose(result.properties, expected)
+
+    def test_bfs_different_source(self, small_grid):
+        result = run_vcpm(small_grid, ALGORITHMS["BFS"], source=30)
+        assert _finite_equal(
+            result.properties, reference.bfs_levels(small_grid, 30)
+        )
+
+    def test_cc_symmetric_graph_single_component(self, small_grid):
+        result = run_vcpm(small_grid, ALGORITHMS["CC"])
+        assert np.all(result.properties == 0.0)
+
+    def test_cc_disconnected_components_distinct(self, disconnected_graph):
+        labels = run_vcpm(disconnected_graph, ALGORITHMS["CC"]).properties
+        assert labels[0] == labels[1] == labels[2] == 0.0
+        assert labels[3] == labels[4] == 3.0
+        assert labels[5] == 5.0  # isolated
+
+
+class TestConvergence:
+    def test_bfs_converges(self, small_powerlaw):
+        result = run_vcpm(small_powerlaw, ALGORITHMS["BFS"], source=0)
+        assert result.converged
+
+    def test_max_iterations_caps(self, small_chain):
+        result = run_vcpm(
+            small_chain, ALGORITHMS["BFS"], source=0, max_iterations=3
+        )
+        assert not result.converged
+        assert result.num_iterations == 3
+
+    def test_chain_takes_length_iterations(self, small_chain):
+        result = run_vcpm(small_chain, ALGORITHMS["BFS"], source=0)
+        # 50-vertex path: 49 frontier advances plus the final vertex's
+        # (edge-less) iteration.
+        assert result.num_iterations == 50
+
+    def test_pr_stops_on_tolerance(self, small_powerlaw):
+        loose = run_vcpm(
+            small_powerlaw, ALGORITHMS["PR"], pr_tolerance=1.0,
+            max_iterations=50,
+        )
+        assert loose.converged
+        assert loose.num_iterations < 50
+
+    def test_empty_graph(self):
+        from repro.graph import CSRGraph
+
+        result = run_vcpm(CSRGraph.empty(0), ALGORITHMS["CC"])
+        assert result.converged
+        assert result.num_iterations == 0
+
+    def test_isolated_source(self, disconnected_graph):
+        result = run_vcpm(disconnected_graph, ALGORITHMS["BFS"], source=5)
+        assert result.properties[5] == 0.0
+        assert np.isinf(result.properties[:5]).all()
+
+
+class TestValidationErrors:
+    def test_source_required(self, tiny_graph):
+        with pytest.raises(ValueError):
+            run_vcpm(tiny_graph, ALGORITHMS["BFS"], source=None)
+
+    def test_source_out_of_range(self, tiny_graph):
+        with pytest.raises(ValueError):
+            run_vcpm(tiny_graph, ALGORITHMS["SSSP"], source=100)
+
+    def test_source_ignored_for_cc(self, tiny_graph):
+        result = run_vcpm(tiny_graph, ALGORITHMS["CC"], source=3)
+        assert result.source is None
+
+
+class TestTraces:
+    def test_trace_lengths(self, tiny_graph):
+        result = run_vcpm(tiny_graph, ALGORITHMS["BFS"], source=0)
+        assert len(result.iterations) == result.num_iterations
+
+    def test_first_iteration_from_source(self, tiny_graph):
+        result = run_vcpm(tiny_graph, ALGORITHMS["BFS"], source=0)
+        first = result.iterations[0]
+        assert first.num_active == 1
+        assert first.num_edges == tiny_graph.out_degree(0)
+
+    def test_total_edges_accumulate(self, small_powerlaw):
+        result = run_vcpm(small_powerlaw, ALGORITHMS["BFS"], source=0)
+        assert result.total_edges_processed == sum(
+            t.num_edges for t in result.iterations
+        )
+
+    def test_activations_feed_next_frontier(self, tiny_graph):
+        result = run_vcpm(tiny_graph, ALGORITHMS["BFS"], source=0)
+        for prev, cur in zip(result.iterations, result.iterations[1:]):
+            assert cur.num_active == prev.num_activated
+
+    def test_pr_processes_all_edges_every_iteration(self, small_powerlaw):
+        result = run_vcpm(
+            small_powerlaw, ALGORITHMS["PR"], max_iterations=3,
+            pr_tolerance=0.0,
+        )
+        for trace in result.iterations:
+            assert trace.num_edges == small_powerlaw.num_edges
+
+
+class TestObservers:
+    def test_observer_called_per_iteration(self, tiny_graph):
+        calls = []
+
+        class Probe:
+            def on_iteration(self, data):
+                calls.append(data.iteration)
+
+        result = run_vcpm(
+            tiny_graph, ALGORITHMS["BFS"], source=0, observers=[Probe()]
+        )
+        assert calls == list(range(result.num_iterations))
+
+    def test_observer_sees_consistent_data(self, small_powerlaw):
+        class Probe:
+            def on_iteration(self, data):
+                assert data.edge_dst.size == data.active_degrees.sum()
+                assert data.active_ids.size == data.active_offsets.size
+                assert data.num_modified <= data.num_vertices
+                assert data.num_activated <= data.num_vertices
+
+        run_vcpm(
+            small_powerlaw, ALGORITHMS["SSSP"], source=0, observers=[Probe()]
+        )
+
+    def test_multiple_observers_same_stream(self, tiny_graph):
+        seen = [[], []]
+
+        def probe(bucket):
+            class P:
+                def on_iteration(self, data):
+                    bucket.append(data.num_edges)
+
+            return P()
+
+        run_vcpm(
+            tiny_graph,
+            ALGORITHMS["BFS"],
+            source=0,
+            observers=[probe(seen[0]), probe(seen[1])],
+        )
+        assert seen[0] == seen[1]
+
+    def test_modified_ids_are_reduce_targets(self, tiny_graph):
+        class Probe:
+            def on_iteration(self, data):
+                assert set(data.modified_ids).issubset(set(data.edge_dst))
+
+        run_vcpm(tiny_graph, ALGORITHMS["SSSP"], source=0, observers=[Probe()])

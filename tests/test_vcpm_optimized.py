@@ -1,0 +1,89 @@
+"""Optimized programming model (Algorithm 2) tests."""
+
+import numpy as np
+import pytest
+
+from repro.vcpm import (
+    ALGORITHMS,
+    dispatch_apply,
+    dispatch_scatter,
+    run_optimized,
+    run_vcpm,
+)
+
+
+class TestDispatchScatter:
+    def test_records_carry_offset_and_edgecnt(self, tiny_graph):
+        prop = np.arange(7, dtype=np.float64)
+        records = dispatch_scatter(prop, tiny_graph.offsets, np.array([0, 4]))
+        assert records[0].offset == 0
+        assert records[0].edge_cnt == 3
+        assert records[0].prop == 0.0
+        assert records[1].offset == 7
+        assert records[1].edge_cnt == 2
+
+    def test_empty_active(self, tiny_graph):
+        prop = np.zeros(7)
+        assert dispatch_scatter(prop, tiny_graph.offsets, np.array([], dtype=np.int64)) == []
+
+
+class TestDispatchApply:
+    def test_covers_all_vertices(self):
+        workloads = dispatch_apply(20, 8)
+        assert sum(w.size for w in workloads) == 20
+        assert workloads[0].start_id == 0
+        assert workloads[-1].size == 4
+
+    def test_exact_multiple(self):
+        workloads = dispatch_apply(16, 8)
+        assert len(workloads) == 2
+        assert all(w.size == 8 for w in workloads)
+
+    def test_rejects_bad_list_size(self):
+        with pytest.raises(ValueError):
+            dispatch_apply(10, 0)
+
+
+class TestEquivalenceWithEngine:
+    @pytest.mark.parametrize("algo", ["BFS", "SSSP", "CC", "SSWP"])
+    def test_monotonic_algorithms(self, algo, small_powerlaw):
+        vec = run_vcpm(small_powerlaw, ALGORITHMS[algo], source=0)
+        opt = run_optimized(small_powerlaw, ALGORITHMS[algo], source=0)
+        assert np.array_equal(
+            np.nan_to_num(vec.properties, posinf=1e30),
+            np.nan_to_num(opt.properties, posinf=1e30),
+        )
+
+    def test_pagerank(self, tiny_graph):
+        vec = run_vcpm(
+            tiny_graph, ALGORITHMS["PR"], max_iterations=5, pr_tolerance=0.0
+        )
+        opt = run_optimized(
+            tiny_graph, ALGORITHMS["PR"], max_iterations=5, pr_tolerance=0.0
+        )
+        assert np.allclose(vec.properties, opt.properties)
+
+    def test_iteration_counts_match(self, tiny_graph):
+        vec = run_vcpm(tiny_graph, ALGORITHMS["BFS"], source=0)
+        opt = run_optimized(tiny_graph, ALGORITHMS["BFS"], source=0)
+        assert opt.converged
+        assert opt.num_iterations == vec.num_iterations
+
+    def test_edges_processed_match(self, tiny_graph):
+        vec = run_vcpm(tiny_graph, ALGORITHMS["SSSP"], source=0)
+        opt = run_optimized(tiny_graph, ALGORITHMS["SSSP"], source=0)
+        assert opt.edges_processed == vec.total_edges_processed
+
+
+class TestDispatchStatistics:
+    def test_scatter_dispatches_equal_active_vertices(self, tiny_graph):
+        vec = run_vcpm(tiny_graph, ALGORITHMS["BFS"], source=0)
+        opt = run_optimized(tiny_graph, ALGORITHMS["BFS"], source=0)
+        assert opt.scatter_dispatches == vec.total_active_vertices
+
+    def test_apply_dispatches_cover_vertices(self, tiny_graph):
+        opt = run_optimized(
+            tiny_graph, ALGORITHMS["BFS"], source=0, v_list_size=2
+        )
+        per_iteration = -(-tiny_graph.num_vertices // 2)
+        assert opt.apply_dispatches == per_iteration * opt.num_iterations

@@ -1,0 +1,124 @@
+"""Pull-mode engine and extension-algorithm tests."""
+
+import numpy as np
+import pytest
+
+from repro.graph import CSRGraph
+from repro.vcpm import (
+    ALGORITHMS,
+    DEGREE_COUNT,
+    EXTENSION_ALGORITHMS,
+    MAX_INCOMING,
+    REACHABILITY,
+    SPMV,
+    get_extension,
+    reference,
+    run_vcpm,
+    run_vcpm_pull,
+)
+
+
+def _finite_equal(a, b):
+    return np.array_equal(
+        np.nan_to_num(a, posinf=1e30, neginf=-1e30),
+        np.nan_to_num(b, posinf=1e30, neginf=-1e30),
+    )
+
+
+class TestPullEquivalence:
+    @pytest.mark.parametrize("algo", ["BFS", "SSSP", "CC", "SSWP"])
+    def test_same_fixpoint_as_push(self, algo, small_powerlaw):
+        push = run_vcpm(small_powerlaw, ALGORITHMS[algo], source=0)
+        pull = run_vcpm_pull(small_powerlaw, ALGORITHMS[algo], source=0)
+        assert _finite_equal(push.properties, pull.properties)
+
+    def test_pagerank_identical_per_iteration(self, small_powerlaw):
+        push = run_vcpm(
+            small_powerlaw, ALGORITHMS["PR"], max_iterations=6,
+            pr_tolerance=0.0,
+        )
+        pull = run_vcpm_pull(
+            small_powerlaw, ALGORITHMS["PR"], max_iterations=6,
+            pr_tolerance=0.0,
+        )
+        assert np.allclose(push.properties, pull.properties)
+
+    def test_pull_does_redundant_edge_work(self, small_powerlaw):
+        # Pull gathers every in-edge every iteration; push only touches
+        # active out-edges.  For BFS the totals differ dramatically.
+        push = run_vcpm(small_powerlaw, ALGORITHMS["BFS"], source=0)
+        pull = run_vcpm_pull(small_powerlaw, ALGORITHMS["BFS"], source=0)
+        assert pull.total_edges_processed > push.total_edges_processed
+
+    def test_source_validation(self, tiny_graph):
+        with pytest.raises(ValueError):
+            run_vcpm_pull(tiny_graph, ALGORITHMS["BFS"], source=None)
+        with pytest.raises(ValueError):
+            run_vcpm_pull(tiny_graph, ALGORITHMS["BFS"], source=99)
+
+    def test_pull_converges(self, small_grid):
+        result = run_vcpm_pull(small_grid, ALGORITHMS["BFS"], source=0)
+        assert result.converged
+
+
+class TestSpMV:
+    def test_matches_matrix_product(self, tiny_graph):
+        result = run_vcpm(tiny_graph, SPMV, max_iterations=1)
+        # y[v] = sum over edges (u -> v) of x[u] * w with x = ones.
+        expected = np.zeros(tiny_graph.num_vertices)
+        for src, dst, weight in tiny_graph.iter_edges():
+            expected[dst] += 1.0 * weight
+        assert np.allclose(result.properties, expected)
+
+    def test_single_iteration(self, small_powerlaw):
+        result = run_vcpm(small_powerlaw, SPMV)
+        assert result.num_iterations == 1
+
+
+class TestDegreeCount:
+    def test_computes_in_degree(self, tiny_graph):
+        result = run_vcpm(tiny_graph, DEGREE_COUNT)
+        in_deg = np.bincount(
+            tiny_graph.edges, minlength=tiny_graph.num_vertices
+        )
+        assert np.array_equal(result.properties, in_deg.astype(float))
+
+
+class TestMaxIncoming:
+    def test_max_in_weight(self, tiny_graph):
+        result = run_vcpm(tiny_graph, MAX_INCOMING)
+        expected = np.full(tiny_graph.num_vertices, float("-inf"))
+        for _, dst, weight in tiny_graph.iter_edges():
+            expected[dst] = max(expected[dst], weight)
+        assert np.array_equal(result.properties, expected)
+
+
+class TestReachability:
+    def test_flags_match_bfs(self, small_powerlaw):
+        result = run_vcpm(small_powerlaw, REACHABILITY, source=0)
+        levels = reference.bfs_levels(small_powerlaw, 0)
+        assert np.array_equal(result.properties > 0, np.isfinite(levels))
+
+    def test_disconnected(self, disconnected_graph):
+        result = run_vcpm(disconnected_graph, REACHABILITY, source=0)
+        assert result.properties[:3].sum() == 3.0
+        assert result.properties[3:].sum() == 0.0
+
+
+class TestRegistry:
+    def test_lookup(self):
+        assert get_extension("spmv") is SPMV
+        with pytest.raises(KeyError):
+            get_extension("nope")
+
+    def test_four_extensions(self):
+        assert len(EXTENSION_ALGORITHMS) == 4
+
+    def test_extensions_run_on_graphdyns(self, small_powerlaw):
+        from repro.graphdyns import GraphDynS
+
+        acc = GraphDynS()
+        for name, spec in EXTENSION_ALGORITHMS.items():
+            source = 0 if spec.needs_source else None
+            result, report = acc.run(small_powerlaw, spec, source=source)
+            assert report.cycles > 0, name

@@ -1,0 +1,88 @@
+"""Reference implementation tests on hand-computed graphs."""
+
+import numpy as np
+import pytest
+
+from repro.graph import CSRGraph
+from repro.vcpm import reference
+
+
+@pytest.fixture(scope="module")
+def diamond():
+    """0 -> {1, 2} -> 3, with asymmetric weights."""
+    edges = [(0, 1), (0, 2), (1, 3), (2, 3)]
+    weights = [1.0, 4.0, 10.0, 1.0]
+    return CSRGraph.from_edge_list(4, edges, weights)
+
+
+class TestBFS:
+    def test_diamond_levels(self, diamond):
+        levels = reference.bfs_levels(diamond, 0)
+        assert levels.tolist() == [0.0, 1.0, 1.0, 2.0]
+
+    def test_unreachable_is_inf(self):
+        g = CSRGraph.from_edge_list(3, [(0, 1)])
+        levels = reference.bfs_levels(g, 0)
+        assert np.isinf(levels[2])
+
+
+class TestSSSP:
+    def test_diamond_distances(self, diamond):
+        dist = reference.sssp_distances(diamond, 0)
+        # 0->1->3 costs 11; 0->2->3 costs 5.
+        assert dist.tolist() == [0.0, 1.0, 4.0, 5.0]
+
+    def test_prefers_longer_hop_cheaper_path(self):
+        g = CSRGraph.from_edge_list(
+            3, [(0, 2), (0, 1), (1, 2)], weights=[10.0, 1.0, 2.0]
+        )
+        dist = reference.sssp_distances(g, 0)
+        assert dist[2] == 3.0
+
+
+class TestCC:
+    def test_min_label_propagation(self, diamond):
+        labels = reference.cc_labels(diamond)
+        assert labels.tolist() == [0.0, 0.0, 0.0, 0.0]
+
+    def test_directed_reachability_semantics(self):
+        # 1 -> 0: label 0 does NOT reach vertex 1 (no out edge from 0).
+        g = CSRGraph.from_edge_list(2, [(1, 0)])
+        labels = reference.cc_labels(g)
+        assert labels.tolist() == [0.0, 1.0]
+
+
+class TestSSWP:
+    def test_diamond_widths(self, diamond):
+        widths = reference.sswp_widths(diamond, 0)
+        # 0->1 width 1; 0->2 width 4; to 3: max(min(1,10), min(4,1)) = 1.
+        assert widths[0] == float("inf")
+        assert widths[1] == 1.0
+        assert widths[2] == 4.0
+        assert widths[3] == 1.0
+
+    def test_bottleneck_semantics(self):
+        g = CSRGraph.from_edge_list(
+            3, [(0, 1), (1, 2)], weights=[5.0, 3.0]
+        )
+        widths = reference.sswp_widths(g, 0)
+        assert widths[2] == 3.0
+
+
+class TestPageRank:
+    def test_conserved_shape(self, diamond):
+        prop = reference.pagerank_scores(diamond, iterations=20)
+        ranks = prop * np.maximum(diamond.out_degree(), 1)
+        # Sink vertex 3 accumulates from two paths; source 0 keeps alpha.
+        assert ranks[0] == pytest.approx(0.15, abs=1e-6)
+        assert ranks[3] > ranks[1]
+
+    def test_empty_graph(self):
+        assert reference.pagerank_scores(CSRGraph.empty(0)).size == 0
+
+    def test_tolerance_early_exit_close_to_full_run(self, small_powerlaw):
+        full = reference.pagerank_scores(small_powerlaw, iterations=100)
+        early = reference.pagerank_scores(
+            small_powerlaw, iterations=100, tolerance=1e-10
+        )
+        assert np.allclose(full, early, atol=1e-6)

@@ -1,0 +1,65 @@
+"""AlgorithmSpec / ReduceOp tests."""
+
+import numpy as np
+import pytest
+
+from repro.vcpm import ALGORITHMS, ReduceOp
+from repro.vcpm.spec import AlgorithmSpec
+
+
+class TestReduceOp:
+    def test_identities(self):
+        assert ReduceOp.MIN.identity == float("inf")
+        assert ReduceOp.MAX.identity == float("-inf")
+        assert ReduceOp.SUM.identity == 0.0
+
+    def test_identity_is_neutral_scalar(self):
+        for op in ReduceOp:
+            assert op.scalar(op.identity, 5.0) == 5.0
+
+    def test_scalar_folds(self):
+        assert ReduceOp.MIN.scalar(3.0, 5.0) == 3.0
+        assert ReduceOp.MAX.scalar(3.0, 5.0) == 5.0
+        assert ReduceOp.SUM.scalar(3.0, 5.0) == 8.0
+
+    def test_ufunc_matches_scalar(self):
+        for op in ReduceOp:
+            out = np.array([op.identity])
+            op.ufunc.at(out, np.zeros(3, dtype=np.int64), np.array([1.0, 4.0, 2.0]))
+            expected = op.identity
+            for v in [1.0, 4.0, 2.0]:
+                expected = op.scalar(expected, v)
+            assert out[0] == expected
+
+    def test_monotonicity_flags(self):
+        assert ReduceOp.MIN.is_monotonic
+        assert ReduceOp.MAX.is_monotonic
+        assert not ReduceOp.SUM.is_monotonic
+
+
+class TestAlgorithmSpec:
+    def test_initial_tprop_filled_with_identity(self):
+        for spec in ALGORITHMS.values():
+            t_prop = spec.initial_tprop(5)
+            assert np.all(t_prop == spec.reduce_op.identity)
+
+    def test_resets_tprop_only_for_pr(self):
+        for name, spec in ALGORITHMS.items():
+            assert spec.resets_tprop_each_iteration == (name == "PR")
+
+    def test_process_edge_scalar_matches_vector(self):
+        for spec in ALGORITHMS.values():
+            scalar = spec.process_edge_scalar(3.0, 2.0)
+            vector = spec.process_edge(np.array([3.0]), np.array([2.0]))[0]
+            assert scalar == vector
+
+    def test_apply_scalar_matches_vector(self):
+        for spec in ALGORITHMS.values():
+            scalar = spec.apply_scalar(4.0, 2.0, 8.0)
+            vector = spec.apply(
+                np.array([4.0]), np.array([2.0]), np.array([8.0])
+            )[0]
+            assert scalar == pytest.approx(vector)
+
+    def test_repr_mentions_name(self):
+        assert "BFS" in repr(ALGORITHMS["BFS"])
