@@ -23,10 +23,12 @@ from .gpu.gunrock import Gunrock
 from .metrics.counters import RunReport
 from .vcpm.algorithms import ALGORITHMS, algorithm_names, get_algorithm
 from .vcpm.engine import run_vcpm
+from . import backends
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "backends",
     "CSRGraph",
     "load_dataset",
     "power_law_graph",

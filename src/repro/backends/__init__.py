@@ -1,0 +1,43 @@
+"""Pluggable accelerator backends.
+
+``repro.backends`` decouples *which systems are compared* from *how the
+comparison runs*: the harness asks the registry for backends by name and
+drives them all through one functional VCPM run per cell.  The three
+systems of the paper register themselves on import; adding a fourth is
+one adapter class plus one :func:`register` call — no harness, CLI, or
+benchmark change required.
+"""
+
+from .base import Backend, BaseBackend, config_digest
+from .registry import (
+    available,
+    available_keys,
+    create,
+    get,
+    is_registered,
+    register,
+    unregister,
+)
+from .builtin import (
+    GraphDynSBackend,
+    GraphicionadoBackend,
+    GunrockBackend,
+    register_builtin_backends,
+)
+
+__all__ = [
+    "Backend",
+    "BaseBackend",
+    "config_digest",
+    "register",
+    "unregister",
+    "get",
+    "create",
+    "available",
+    "available_keys",
+    "is_registered",
+    "GraphDynSBackend",
+    "GraphicionadoBackend",
+    "GunrockBackend",
+    "register_builtin_backends",
+]

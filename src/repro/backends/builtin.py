@@ -1,0 +1,98 @@
+"""Adapters for the three systems of the paper's evaluation (Table 3).
+
+Each adapter is a thin shim: the physics lives in the system packages,
+the adapter owns naming, config plumbing, and the energy hookup.
+Importing this module registers all three, in the figures' presentation
+order (GraphDynS, Graphicionado, Gunrock is *registration* order;
+figures themselves pick their own column order).
+"""
+
+from __future__ import annotations
+
+from ..energy.model import (
+    EnergyReport,
+    gpu_energy_report,
+    graphdyns_energy,
+    graphicionado_energy,
+)
+from ..gpu.config import GPUConfig, V100_GUNROCK
+from ..gpu.gunrock import GunrockTimingModel
+from ..graph.csr import CSRGraph
+from ..graphdyns.config import DEFAULT_CONFIG, GraphDynSConfig
+from ..graphdyns.timing import GraphDynSTimingModel
+from ..graphicionado.config import GRAPHICIONADO_CONFIG, GraphicionadoConfig
+from ..graphicionado.timing import GraphicionadoTimingModel
+from ..metrics.counters import RunReport
+from ..vcpm.spec import AlgorithmSpec
+from .base import BaseBackend
+from .registry import register
+
+__all__ = [
+    "GraphDynSBackend",
+    "GraphicionadoBackend",
+    "GunrockBackend",
+    "register_builtin_backends",
+]
+
+
+class GraphDynSBackend(BaseBackend):
+    """The paper's accelerator: decoupled datapath + dynamic scheduling."""
+
+    name = "GraphDynS"
+
+    def __init__(self, config: GraphDynSConfig = DEFAULT_CONFIG) -> None:
+        self.config = config
+
+    def make_observer(
+        self, graph: CSRGraph, spec: AlgorithmSpec
+    ) -> GraphDynSTimingModel:
+        return GraphDynSTimingModel(graph, spec, self.config)
+
+    def energy(self, report: RunReport) -> EnergyReport:
+        return graphdyns_energy(report)
+
+
+class GraphicionadoBackend(BaseBackend):
+    """The state-of-the-art ASIC baseline."""
+
+    name = "Graphicionado"
+
+    def __init__(
+        self, config: GraphicionadoConfig = GRAPHICIONADO_CONFIG
+    ) -> None:
+        self.config = config
+
+    def make_observer(
+        self, graph: CSRGraph, spec: AlgorithmSpec
+    ) -> GraphicionadoTimingModel:
+        return GraphicionadoTimingModel(graph, spec, self.config)
+
+    def energy(self, report: RunReport) -> EnergyReport:
+        return graphicionado_energy(report)
+
+
+class GunrockBackend(BaseBackend):
+    """The GPU software baseline (Gunrock on a V100)."""
+
+    name = "Gunrock"
+
+    def __init__(self, config: GPUConfig = V100_GUNROCK) -> None:
+        self.config = config
+
+    def make_observer(
+        self, graph: CSRGraph, spec: AlgorithmSpec
+    ) -> GunrockTimingModel:
+        return GunrockTimingModel(graph, spec, self.config)
+
+    def energy(self, report: RunReport) -> EnergyReport:
+        return gpu_energy_report(report, self.config.average_power_w)
+
+
+def register_builtin_backends(replace: bool = True) -> None:
+    """(Re-)register the three built-in systems."""
+    register("GraphDynS", GraphDynSBackend, replace=replace)
+    register("Graphicionado", GraphicionadoBackend, replace=replace)
+    register("Gunrock", GunrockBackend, replace=replace)
+
+
+register_builtin_backends()

@@ -1,0 +1,116 @@
+"""String-keyed backend registry.
+
+Lookup is case-insensitive (``"graphdyns"``, ``"GraphDynS"`` and
+``"GRAPHDYNS"`` all resolve), while :func:`available` preserves each
+backend's display name and registration order — the order figures list
+systems in.
+
+Registering a new system::
+
+    from repro.backends import BaseBackend, register
+
+    class MyAcceleratorBackend(BaseBackend):
+        name = "MyAccelerator"
+        ...
+
+    register("MyAccelerator", MyAcceleratorBackend)
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from .base import Backend
+
+__all__ = [
+    "register",
+    "unregister",
+    "get",
+    "create",
+    "available",
+    "available_keys",
+    "is_registered",
+]
+
+#: canonical (lowercase) key -> factory. A factory is any callable
+#: returning a Backend; called with no arguments for the default
+#: configuration, or with one positional config argument.
+_FACTORIES: Dict[str, Callable[..., Backend]] = {}
+
+#: canonical key -> display name, in registration order.
+_DISPLAY: Dict[str, str] = {}
+
+
+def register(
+    name: str,
+    factory: Callable[..., Backend],
+    *,
+    replace: bool = False,
+) -> None:
+    """Register a backend factory under ``name``.
+
+    Args:
+        name: display name (lookup is case-insensitive).
+        factory: callable returning a :class:`Backend`; it must accept
+            zero arguments (default config) and may accept one positional
+            config argument.
+        replace: allow overwriting an existing registration.
+
+    Raises:
+        ValueError: the name is already taken and ``replace`` is false.
+    """
+    key = name.lower()
+    if key in _FACTORIES and not replace:
+        raise ValueError(
+            f"backend {name!r} already registered; pass replace=True "
+            "to override"
+        )
+    _FACTORIES[key] = factory
+    _DISPLAY[key] = name
+
+
+def unregister(name: str) -> None:
+    """Remove a registration (mainly for tests)."""
+    key = name.lower()
+    _FACTORIES.pop(key, None)
+    _DISPLAY.pop(key, None)
+
+
+def get(name: str) -> Callable[..., Backend]:
+    """The factory registered under ``name``.
+
+    Raises:
+        KeyError: unknown name; the message lists every available backend.
+    """
+    key = name.lower()
+    if key not in _FACTORIES:
+        raise KeyError(
+            f"unknown backend {name!r}; available: {available()}"
+        )
+    return _FACTORIES[key]
+
+
+def create(name: str, config: Optional[object] = None) -> Backend:
+    """Instantiate the backend registered under ``name``.
+
+    ``config`` (when given) is forwarded to the factory, overriding the
+    system's default hardware configuration.
+    """
+    factory = get(name)
+    if config is None:
+        return factory()
+    return factory(config)
+
+
+def available() -> List[str]:
+    """Display names of all registered backends, in registration order."""
+    return list(_DISPLAY.values())
+
+
+def available_keys() -> List[str]:
+    """Canonical lowercase keys, in registration order (CLI choices)."""
+    return list(_FACTORIES)
+
+
+def is_registered(name: str) -> bool:
+    return name.lower() in _FACTORIES

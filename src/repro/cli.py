@@ -4,38 +4,38 @@
 
     python -m repro run --graph LJ --algo SSSP --system graphdyns
     python -m repro compare --graph HO --algo PR
-    python -m repro figure fig6 fig7
+    python -m repro figure fig6 fig7 --jobs 4
     python -m repro report -o EXPERIMENTS.md
+    python -m repro backends
     python -m repro datasets
+
+Systems are resolved through the :mod:`repro.backends` registry, so a
+newly registered backend is immediately runnable and comparable.  The
+``figure``/``report``/``compare`` commands share a persistent result
+cache (disable with ``--no-cache``; relocate with ``--cache-dir``) and
+can fan the evaluation matrix out across workers with ``--jobs``.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Callable, Dict, List, Optional
 
-from .energy.model import (
-    gpu_energy_report,
-    graphdyns_energy,
-    graphicionado_energy,
-)
-from .gpu.config import V100_GUNROCK
-from .gpu.gunrock import Gunrock
+from . import backends
 from .graph import datasets
-from .graphdyns.accelerator import GraphDynS
-from .graphicionado.accelerator import Graphicionado
-from .harness import experiments, figures, tables
+from .harness import figures, tables
+from .harness.experiments import ExperimentSuite
 from .harness.io import render_table
-from .vcpm.algorithms import algorithm_names
+from .vcpm.algorithms import algorithm_names, get_algorithm
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "DEFAULT_CACHE_DIR"]
 
-_SYSTEMS = {
-    "graphdyns": GraphDynS,
-    "graphicionado": Graphicionado,
-    "gunrock": Gunrock,
-}
+#: Where `figure`/`report`/`compare` persist results unless overridden.
+DEFAULT_CACHE_DIR = os.environ.get(
+    "REPRO_CACHE_DIR", os.path.join("~", ".cache", "repro")
+)
 
 _FIGURES: Dict[str, Callable[[], "figures.FigureResult"]] = {
     "table1": tables.table1,
@@ -59,6 +59,9 @@ _FIGURES: Dict[str, Callable[[], "figures.FigureResult"]] = {
     "fig14f": figures.figure14f,
 }
 
+#: Figures that consume the shared suite (worth pre-warming in parallel).
+_MATRIX_FIGURES = {"fig6", "fig7", "fig9", "fig10", "fig11", "fig12", "fig13"}
+
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -66,6 +69,25 @@ def build_parser() -> argparse.ArgumentParser:
         description="GraphDynS (MICRO 2019) reproduction toolkit",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+
+    service_flags = argparse.ArgumentParser(add_help=False)
+    service_flags.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker threads for the evaluation matrix (default: 1)",
+    )
+    service_flags.add_argument(
+        "--cache-dir",
+        default=None,
+        help=f"persistent result cache directory "
+        f"(default: {DEFAULT_CACHE_DIR})",
+    )
+    service_flags.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the persistent result cache",
+    )
 
     run = sub.add_parser("run", help="run one algorithm on one system")
     run.add_argument("--graph", default="LJ", help="Table 4 dataset key")
@@ -75,16 +97,24 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--system",
         default="graphdyns",
-        choices=sorted(_SYSTEMS),
-        help="which accelerator model",
+        choices=backends.available_keys(),
+        help="which registered backend",
     )
     run.add_argument("--source", type=int, default=0, help="source vertex")
 
-    compare = sub.add_parser("compare", help="run all three systems")
+    compare = sub.add_parser(
+        "compare",
+        parents=[service_flags],
+        help="run every registered backend",
+    )
     compare.add_argument("--graph", default="LJ")
     compare.add_argument("--algo", default="SSSP", choices=algorithm_names())
 
-    figure = sub.add_parser("figure", help="regenerate paper figures/tables")
+    figure = sub.add_parser(
+        "figure",
+        parents=[service_flags],
+        help="regenerate paper figures/tables",
+    )
     figure.add_argument(
         "names",
         nargs="+",
@@ -93,10 +123,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     report = sub.add_parser(
-        "report", help="regenerate EXPERIMENTS.md (slow: full evaluation)"
+        "report",
+        parents=[service_flags],
+        help="regenerate EXPERIMENTS.md (slow: full evaluation)",
     )
     report.add_argument("-o", "--output", default="EXPERIMENTS.md")
 
+    sub.add_parser("backends", help="list registered accelerator backends")
     sub.add_parser("datasets", help="list the Table 4 proxies")
 
     validate = sub.add_parser(
@@ -110,12 +143,24 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _suite_from_args(args: argparse.Namespace) -> ExperimentSuite:
+    """An ExperimentSuite honouring the shared service flags."""
+    cache_dir: Optional[str]
+    if args.no_cache:
+        cache_dir = None
+    else:
+        cache_dir = args.cache_dir or DEFAULT_CACHE_DIR
+    return ExperimentSuite(
+        cache_dir=cache_dir,
+        use_cache=not args.no_cache,
+        jobs=args.jobs,
+    )
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     graph = datasets.load(args.graph)
-    accelerator = _SYSTEMS[args.system]()
-    from .vcpm.algorithms import get_algorithm
-
-    result, report = accelerator.run(
+    backend = backends.create(args.system)
+    result, report = backend.run(
         graph, get_algorithm(args.algo), source=args.source
     )
     print(
@@ -139,18 +184,23 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
-    graph = datasets.load(args.graph)
-    cell = experiments.run_cell(graph, args.algo, args.graph)
-    gunrock = cell.reports["Gunrock"]
+    suite = _suite_from_args(args)
+    cell = suite.cell(args.algo, args.graph)
+    names = list(cell.reports)
+    baseline_name = "Gunrock" if "Gunrock" in cell.reports else names[0]
+    if baseline_name in names:  # baseline row first
+        names.remove(baseline_name)
+        names.insert(0, baseline_name)
+    baseline = cell.reports[baseline_name]
     rows = []
-    for system in ("Gunrock", "Graphicionado", "GraphDynS"):
+    for system in names:
         report = cell.reports[system]
         energy = cell.energy[system]
         rows.append(
             [
                 system,
                 f"{report.gteps:.1f}",
-                f"{report.speedup_over(gunrock):.2f}x",
+                f"{report.speedup_over(baseline):.2f}x",
                 f"{report.total_traffic_bytes / 1e6:.1f}",
                 f"{energy.total_j * 1e3:.2f}",
             ]
@@ -169,7 +219,9 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     names: List[str] = (
         sorted(_FIGURES) if "all" in args.names else args.names
     )
-    suite = experiments.ExperimentSuite()
+    suite = _suite_from_args(args)
+    if args.jobs > 1 and any(n in _MATRIX_FIGURES for n in names):
+        suite.matrix()  # resolve all cells in parallel up front
     for name in names:
         fn = _FIGURES[name]
         try:
@@ -184,10 +236,35 @@ def _cmd_figure(args: argparse.Namespace) -> int:
 def _cmd_report(args: argparse.Namespace) -> int:
     from .harness.report import generate_experiments_md
 
-    content = generate_experiments_md()
+    suite = _suite_from_args(args)
+    if args.jobs > 1:
+        suite.matrix()
+    content = generate_experiments_md(suite)
     with open(args.output, "w") as handle:
         handle.write(content)
     print(f"wrote {args.output} ({len(content.splitlines())} lines)")
+    return 0
+
+
+def _cmd_backends(_: argparse.Namespace) -> int:
+    rows = []
+    for name in backends.available():
+        backend = backends.create(name)
+        rows.append(
+            [
+                name,
+                name.lower(),
+                type(backend.config).__name__,
+                backend.config_digest(),
+            ]
+        )
+    print(
+        render_table(
+            ["backend", "cli_key", "config", "config_digest"],
+            rows,
+            title=f"registered backends ({len(rows)})",
+        )
+    )
     return 0
 
 
@@ -227,6 +304,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "compare": _cmd_compare,
         "figure": _cmd_figure,
         "report": _cmd_report,
+        "backends": _cmd_backends,
         "datasets": _cmd_datasets,
         "validate": _cmd_validate,
     }

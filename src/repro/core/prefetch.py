@@ -20,7 +20,7 @@ Two plans are produced by the module:
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Tuple
+from typing import List
 
 import numpy as np
 

@@ -17,7 +17,6 @@ imbalance the paper quantifies in Section 3.2.
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Tuple
 
 import numpy as np
 

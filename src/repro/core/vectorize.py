@@ -15,7 +15,7 @@ occupancy, which the timing layer turns into compute cycles:
 from __future__ import annotations
 
 import dataclasses
-from typing import Iterable, List, Sequence
+from typing import Sequence
 
 import numpy as np
 

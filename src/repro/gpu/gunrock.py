@@ -16,10 +16,8 @@ time follows the HBM2 model; atomics add serialization on hot vertices.
 
 from __future__ import annotations
 
-import dataclasses
 from typing import List, Optional, Tuple
 
-import numpy as np
 
 from ..graph.csr import CSRGraph
 from ..memory.crossbar import grouped_duplicate_count

@@ -17,7 +17,7 @@ Each transform reports its own cost in "touched bytes" so the preprocessing
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple
+from typing import Iterable, Mapping, Optional, Tuple
 
 import numpy as np
 

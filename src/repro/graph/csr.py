@@ -15,7 +15,7 @@ Vertex property arrays are owned by the algorithm state, not by the graph.
 from __future__ import annotations
 
 import dataclasses
-from typing import Iterable, Iterator, Optional, Sequence, Tuple
+from typing import Iterator, Optional, Sequence, Tuple
 
 import numpy as np
 

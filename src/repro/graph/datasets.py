@@ -16,12 +16,24 @@ benchmark output can print them side by side.
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable, Dict, List, Optional
+import hashlib
+import json
+import threading
+from typing import Dict, List, Optional
 
 from .csr import CSRGraph
 from .generators import power_law_graph, rmat_graph
 
-__all__ = ["DatasetSpec", "DATASETS", "REAL_WORLD", "RMAT_SCALING", "load", "available"]
+__all__ = [
+    "DatasetSpec",
+    "DATASETS",
+    "REAL_WORLD",
+    "RMAT_SCALING",
+    "load",
+    "available",
+    "fingerprint",
+    "clear_cache",
+]
 
 #: Scale-down factor applied to the paper's vertex counts.
 PROXY_SCALE = 64
@@ -136,20 +148,54 @@ DATASETS: Dict[str, DatasetSpec] = {
 }
 
 _cache: Dict[str, CSRGraph] = {}
+_cache_lock = threading.Lock()
 
 
 def load(key: str, use_cache: bool = True) -> CSRGraph:
-    """Load (and memoize) a proxy dataset by its Table 4 key, e.g. ``"LJ"``."""
+    """Load (and memoize) a proxy dataset by its Table 4 key, e.g. ``"LJ"``.
+
+    The memo is shared process-wide and identity-stable — repeated suite,
+    CLI, or parallel run-service calls never regenerate an identical
+    proxy graph.  Thread-safe: concurrent first loads race on the build
+    but :func:`dict.setdefault` guarantees all callers see one canonical
+    instance.
+    """
     if key not in DATASETS:
         raise KeyError(
             f"unknown dataset {key!r}; available: {sorted(DATASETS)}"
         )
-    if use_cache and key in _cache:
-        return _cache[key]
+    if use_cache:
+        with _cache_lock:
+            if key in _cache:
+                return _cache[key]
     graph = DATASETS[key].build()
     if use_cache:
-        _cache[key] = graph
+        with _cache_lock:
+            return _cache.setdefault(key, graph)
     return graph
+
+
+def clear_cache() -> None:
+    """Drop all memoized proxy graphs (mainly for tests)."""
+    with _cache_lock:
+        _cache.clear()
+
+
+def fingerprint(key: str) -> str:
+    """Stable digest of everything that determines a proxy graph.
+
+    Covers every :class:`DatasetSpec` field plus the global proxy scale,
+    so the run-service cache is invalidated whenever a dataset definition
+    (seed, exponent, dimensions...) changes.
+    """
+    if key not in DATASETS:
+        raise KeyError(
+            f"unknown dataset {key!r}; available: {sorted(DATASETS)}"
+        )
+    payload = dataclasses.asdict(DATASETS[key])
+    payload["proxy_scale"] = PROXY_SCALE
+    text = json.dumps(payload, sort_keys=True, default=repr)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]
 
 
 def available() -> List[str]:

@@ -14,7 +14,7 @@ Two families matter for the paper's evaluation:
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Optional
 
 import numpy as np
 

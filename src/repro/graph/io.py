@@ -14,7 +14,7 @@ Three interchange formats:
 from __future__ import annotations
 
 import os
-from typing import List, Optional, TextIO, Tuple
+from typing import List, Optional
 
 import numpy as np
 

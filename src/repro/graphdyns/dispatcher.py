@@ -11,7 +11,7 @@ closed-form equivalents in :mod:`repro.core.scheduling`.
 from __future__ import annotations
 
 import dataclasses
-from typing import Iterator, List, Sequence
+from typing import List, Sequence
 
 import numpy as np
 

@@ -17,7 +17,7 @@ every PE reads exactly its dispatched edges in order.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Sequence
+from typing import List, Sequence
 
 import numpy as np
 

@@ -27,15 +27,12 @@ curves.
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Optional
+from typing import List
 
 import numpy as np
 
 from ..core.coalesce import coalesced_store_bursts
-from ..core.prefetch import (
-    ACTIVE_RECORD_BYTES,
-    plan_exact_prefetch,
-)
+from ..core.prefetch import plan_exact_prefetch
 from ..core.scheduling import balanced_dispatch, hash_dispatch
 from ..core.update_bitmap import ReadyToUpdateBitmap
 from ..core.vectorize import vectorize_workloads

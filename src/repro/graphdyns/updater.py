@@ -12,7 +12,6 @@ Component-level model of the data-update sub-datapath:
 
 from __future__ import annotations
 
-import dataclasses
 from typing import Dict, List, Sequence, Tuple
 
 import numpy as np

@@ -20,7 +20,6 @@ from __future__ import annotations
 import dataclasses
 from typing import List
 
-import numpy as np
 
 from ..core.prefetch import plan_baseline_fetch
 from ..core.scheduling import hash_dispatch

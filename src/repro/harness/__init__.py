@@ -1,6 +1,13 @@
 """Experiment harness: run the evaluation matrix, regenerate every figure."""
 
 from .io import format_si, geomean, render_table
+from .service import (
+    CacheStats,
+    RunRequest,
+    RunService,
+    default_backends,
+    execute_cell,
+)
 from .experiments import (
     REAL_WORLD_KEYS,
     SYSTEMS,
@@ -41,6 +48,11 @@ __all__ = [
     "format_si",
     "geomean",
     "render_table",
+    "CacheStats",
+    "RunRequest",
+    "RunService",
+    "default_backends",
+    "execute_cell",
     "REAL_WORLD_KEYS",
     "SYSTEMS",
     "CellResult",

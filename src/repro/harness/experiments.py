@@ -1,101 +1,82 @@
 """Experiment suite: run the evaluation matrix once, reuse everywhere.
 
-One functional run per (algorithm, graph) drives the three timing models
-simultaneously (they are independent observers of the same data-dependent
-behaviour), which both guarantees a fair comparison and keeps the whole
-5 x 6 matrix fast enough for the benchmark harness.
+Since the backend-registry refactor this module is a thin compatibility
+layer over :mod:`repro.harness.service`: systems are resolved through
+:mod:`repro.backends` instead of being hard-coded, and the heavy lifting
+(memoization, persistent caching, parallel fan-out) lives in
+:class:`~repro.harness.service.RunService`.  One functional run per
+(algorithm, graph) still drives every backend's timing model
+simultaneously, which both guarantees a fair comparison and keeps the
+whole 5 x 6 matrix fast enough for the benchmark harness.
 """
 
 from __future__ import annotations
 
-import dataclasses
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
-from ..energy.model import (
-    EnergyReport,
-    graphdyns_energy,
-    graphicionado_energy,
-    gpu_energy_report,
-)
-from ..gpu.config import V100_GUNROCK
-from ..gpu.gunrock import GunrockTimingModel
-from ..graph import datasets
+from ..backends.base import Backend
 from ..graph.csr import CSRGraph
 from ..graphdyns.config import DEFAULT_CONFIG, GraphDynSConfig
-from ..graphdyns.timing import GraphDynSTimingModel
-from ..graphicionado.timing import GraphicionadoTimingModel
-from ..metrics.counters import RunReport
-from ..vcpm.algorithms import algorithm_names, get_algorithm
-from ..vcpm.engine import VCPMResult, run_vcpm
+from .service import (
+    REAL_WORLD_KEYS,
+    CellResult,
+    RunService,
+    default_backends,
+    execute_cell,
+)
 
-__all__ = ["CellResult", "ExperimentSuite", "REAL_WORLD_KEYS", "SYSTEMS"]
-
-#: The six real-world columns of every evaluation figure.
-REAL_WORLD_KEYS: Tuple[str, ...] = ("FR", "PK", "LJ", "HO", "IN", "OR")
+__all__ = [
+    "CellResult",
+    "ExperimentSuite",
+    "REAL_WORLD_KEYS",
+    "SYSTEMS",
+    "run_cell",
+]
 
 #: System presentation order of the figures.
 SYSTEMS: Tuple[str, ...] = ("Gunrock", "Graphicionado", "GraphDynS")
 
 
-@dataclasses.dataclass
-class CellResult:
-    """All three systems' outcomes for one (algorithm, graph) cell."""
-
-    algorithm: str
-    graph_key: str
-    functional: VCPMResult
-    reports: Dict[str, RunReport]
-    energy: Dict[str, EnergyReport]
-
-    def speedup_over_gunrock(self, system: str) -> float:
-        return self.reports[system].speedup_over(self.reports["Gunrock"])
-
-    def energy_vs_gunrock(self, system: str) -> float:
-        return self.energy[system].normalized_to(self.energy["Gunrock"])
-
-
 class ExperimentSuite:
-    """Lazily-evaluated, memoized (algorithm x graph) result matrix."""
+    """Lazily-evaluated, memoized (algorithm x graph) result matrix.
+
+    A facade over :class:`RunService` keeping the historical constructor
+    while exposing the new caching/parallelism knobs.
+    """
 
     def __init__(
         self,
         graphdyns_config: GraphDynSConfig = DEFAULT_CONFIG,
         default_source: int = 0,
+        *,
+        backends: Optional[Sequence[Backend]] = None,
+        cache_dir: Optional[str] = None,
+        use_cache: bool = True,
+        jobs: int = 1,
     ) -> None:
         self.graphdyns_config = graphdyns_config
         self.default_source = default_source
-        self._cells: Dict[Tuple[str, str], CellResult] = {}
+        self.service = RunService(
+            backends=backends,
+            backend_configs={"graphdyns": graphdyns_config},
+            default_source=default_source,
+            cache_dir=cache_dir,
+            use_cache=use_cache,
+            jobs=jobs,
+        )
 
     def cell(self, algorithm: str, graph_key: str) -> CellResult:
         """Run (or recall) one cell of the evaluation matrix."""
-        key = (algorithm.upper(), graph_key)
-        if key in self._cells:
-            return self._cells[key]
-        spec = get_algorithm(algorithm)
-        graph = datasets.load(graph_key)
-        cell = run_cell(
-            graph,
-            algorithm,
-            graph_key,
-            source=self.default_source,
-            graphdyns_config=self.graphdyns_config,
-        )
-        self._cells[key] = cell
-        return cell
+        return self.service.cell(algorithm, graph_key)
 
     def matrix(
         self,
         algorithms: Optional[Sequence[str]] = None,
         graph_keys: Optional[Sequence[str]] = None,
+        jobs: Optional[int] = None,
     ) -> List[CellResult]:
         """All cells of the chosen sub-matrix, algorithm-major order."""
-        algorithms = list(algorithms or algorithm_names())
-        graph_keys = list(graph_keys or REAL_WORLD_KEYS)
-        return [
-            self.cell(algorithm, graph_key)
-            for algorithm in algorithms
-            for graph_key in graph_keys
-        ]
+        return self.service.matrix(algorithms, graph_keys, jobs=jobs)
 
 
 def run_cell(
@@ -104,29 +85,11 @@ def run_cell(
     graph_key: Optional[str] = None,
     source: int = 0,
     graphdyns_config: GraphDynSConfig = DEFAULT_CONFIG,
+    backends: Optional[Sequence[Backend]] = None,
 ) -> CellResult:
-    """Run all three systems on one (graph, algorithm) pair."""
-    spec = get_algorithm(algorithm)
-    models = {
-        "GraphDynS": GraphDynSTimingModel(graph, spec, graphdyns_config),
-        "Graphicionado": GraphicionadoTimingModel(graph, spec),
-        "Gunrock": GunrockTimingModel(graph, spec),
-    }
-    functional = run_vcpm(
-        graph, spec, source=source, observers=list(models.values())
-    )
-    reports = {name: model.report() for name, model in models.items()}
-    energy = {
-        "GraphDynS": graphdyns_energy(reports["GraphDynS"]),
-        "Graphicionado": graphicionado_energy(reports["Graphicionado"]),
-        "Gunrock": gpu_energy_report(
-            reports["Gunrock"], V100_GUNROCK.average_power_w
-        ),
-    }
-    return CellResult(
-        algorithm=spec.name,
-        graph_key=graph_key or graph.name,
-        functional=functional,
-        reports=reports,
-        energy=energy,
+    """Run every registered backend on one (graph, algorithm) pair."""
+    if backends is None:
+        backends = default_backends({"graphdyns": graphdyns_config})
+    return execute_cell(
+        graph, algorithm, graph_key=graph_key, source=source, backends=backends
     )

@@ -9,6 +9,7 @@ the paper's numbers.
 from __future__ import annotations
 
 import dataclasses
+import functools
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -22,7 +23,7 @@ from ..graphdyns.timing import GraphDynSTimingModel
 from ..graphicionado.timing import GraphicionadoTimingModel
 from ..vcpm.algorithms import algorithm_names, get_algorithm
 from ..vcpm.engine import IterationData, run_vcpm
-from .experiments import REAL_WORLD_KEYS, ExperimentSuite, run_cell
+from .experiments import REAL_WORLD_KEYS, ExperimentSuite
 from .io import geomean, render_table
 
 __all__ = [
@@ -458,9 +459,6 @@ ABLATION_STEPS: List[Tuple[str, Dict[str, bool]]] = [
     ("WEAU", dict(workload_balance=True, exact_prefetch=True,
                   atomic_optimization=True, update_scheduling=True)),
 ]
-
-
-import functools
 
 
 @functools.lru_cache(maxsize=64)

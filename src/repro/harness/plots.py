@@ -12,7 +12,7 @@ CI logs:
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import List, Mapping, Sequence
 
 __all__ = ["bar_chart", "grouped_bar_chart", "line_series"]
 

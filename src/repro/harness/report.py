@@ -10,7 +10,7 @@ Regenerate with::
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import List, Optional
 
 from .experiments import ExperimentSuite
 from .figures import (
@@ -31,7 +31,6 @@ from .figures import (
     figure14e,
     figure14f,
 )
-from .io import geomean
 from .tables import table1, table2, table3, table4
 
 __all__ = ["ExperimentRecord", "build_report", "generate_experiments_md"]

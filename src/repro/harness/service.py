@@ -1,0 +1,408 @@
+"""Run service: cached, parallel evaluation of (algorithm x graph) cells.
+
+This layer sits between the backend registry and every consumer of
+evaluation results (figures, tables, sweeps, benchmarks, CLI):
+
+``RunRequest``
+    What to run: algorithm, dataset key, the participating backends with
+    their config digests, and the source vertex.
+
+``RunService``
+    Executes requests with three reuse tiers:
+
+    1. an identity-stable in-process memo (what ``ExperimentSuite``
+       always had),
+    2. a content-addressed persistent JSON cache — the key hashes the
+       request, the dataset fingerprint, the serializer schema version
+       and the package version, so any change to configs, datasets, or
+       code conventions invalidates stale entries instead of misreading
+       them,
+    3. parallel fan-out of cache-miss cells across a
+       :class:`concurrent.futures.ThreadPoolExecutor` (one functional
+       ``run_vcpm`` per cell still drives all backends' observers
+       simultaneously; independent cells fan out across workers).
+
+Cell execution is deterministic and cells are independent, so a
+``jobs=4`` matrix produces bit-identical ``RunReport`` JSON to a serial
+run.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .. import backends as backend_registry
+from ..backends.base import Backend
+from ..energy.model import EnergyReport
+from ..graph import datasets
+from ..graph.csr import CSRGraph
+from ..metrics.counters import RunReport
+from ..metrics.serialize import (
+    SCHEMA_VERSION,
+    SchemaMismatchError,
+    report_from_dict,
+    report_to_dict,
+)
+from ..vcpm.algorithms import algorithm_names, get_algorithm
+from ..vcpm.engine import IterationTrace, VCPMResult, run_vcpm
+
+__all__ = [
+    "REAL_WORLD_KEYS",
+    "CacheStats",
+    "CellResult",
+    "RunRequest",
+    "RunService",
+    "default_backends",
+    "execute_cell",
+]
+
+#: The six real-world columns of every evaluation figure.
+REAL_WORLD_KEYS: Tuple[str, ...] = ("FR", "PK", "LJ", "HO", "IN", "OR")
+
+
+@dataclasses.dataclass
+class CellResult:
+    """All participating systems' outcomes for one (algorithm, graph) cell."""
+
+    algorithm: str
+    graph_key: str
+    functional: VCPMResult
+    reports: Dict[str, RunReport]
+    energy: Dict[str, EnergyReport]
+
+    def speedup_over_gunrock(self, system: str) -> float:
+        return self.reports[system].speedup_over(self.reports["Gunrock"])
+
+    def energy_vs_gunrock(self, system: str) -> float:
+        return self.energy[system].normalized_to(self.energy["Gunrock"])
+
+
+def default_backends(
+    configs: Optional[Mapping[str, object]] = None,
+) -> List[Backend]:
+    """One instance of every registered backend, in registration order.
+
+    Args:
+        configs: optional per-backend config overrides, keyed by backend
+            name (case-insensitive); e.g. ``{"graphdyns": my_config}``.
+    """
+    overrides = {k.lower(): v for k, v in (configs or {}).items()}
+    return [
+        backend_registry.create(name, overrides.get(name.lower()))
+        for name in backend_registry.available()
+    ]
+
+
+def execute_cell(
+    graph: CSRGraph,
+    algorithm: str,
+    graph_key: Optional[str] = None,
+    source: int = 0,
+    backends: Optional[Sequence[Backend]] = None,
+) -> CellResult:
+    """Run all backends on one (graph, algorithm) pair.
+
+    One functional run drives every backend's observer simultaneously
+    (they are independent observers of the same data-dependent
+    behaviour), which both guarantees a fair comparison and keeps the
+    whole matrix fast.
+    """
+    backends = list(backends) if backends is not None else default_backends()
+    spec = get_algorithm(algorithm)
+    observers = {b.name: b.make_observer(graph, spec) for b in backends}
+    functional = run_vcpm(
+        graph, spec, source=source, observers=list(observers.values())
+    )
+    reports = {b.name: b.report(observers[b.name]) for b in backends}
+    energy = {b.name: b.energy(reports[b.name]) for b in backends}
+    return CellResult(
+        algorithm=spec.name,
+        graph_key=graph_key or graph.name,
+        functional=functional,
+        reports=reports,
+        energy=energy,
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class RunRequest:
+    """Everything that identifies one evaluation cell."""
+
+    algorithm: str
+    graph_key: str
+    #: (backend display name, backend config digest) pairs.
+    backends: Tuple[Tuple[str, str], ...]
+    source: int = 0
+
+    def cache_key(self, dataset_fingerprint: str, package_version: str) -> str:
+        """Content address of this request's result."""
+        payload = {
+            "schema": SCHEMA_VERSION,
+            "package_version": package_version,
+            "algorithm": self.algorithm,
+            "graph_key": self.graph_key,
+            "dataset": dataset_fingerprint,
+            "source": self.source,
+            "backends": [list(pair) for pair in self.backends],
+        }
+        text = json.dumps(payload, sort_keys=True)
+        return hashlib.sha256(text.encode("utf-8")).hexdigest()[:32]
+
+
+@dataclasses.dataclass
+class CacheStats:
+    """Counters exposed by :attr:`RunService.stats`."""
+
+    hits: int = 0  # served from the persistent cache
+    misses: int = 0  # executed from scratch
+    stores: int = 0  # written to the persistent cache
+    memory_hits: int = 0  # served from the in-process memo
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses + self.memory_hits
+
+    @property
+    def hit_rate(self) -> float:
+        """Persistent-cache hit fraction over cold (non-memo) requests."""
+        cold = self.hits + self.misses
+        if cold == 0:
+            return 0.0
+        return self.hits / cold
+
+
+def _functional_to_dict(result: VCPMResult) -> Dict[str, object]:
+    return {
+        "algorithm": result.algorithm,
+        "graph_name": result.graph_name,
+        "source": result.source,
+        "converged": result.converged,
+        "properties": result.properties.tolist(),
+        "iterations": [dataclasses.asdict(t) for t in result.iterations],
+    }
+
+
+def _functional_from_dict(data: Dict[str, object]) -> VCPMResult:
+    return VCPMResult(
+        algorithm=data["algorithm"],
+        graph_name=data["graph_name"],
+        properties=np.asarray(data["properties"], dtype=np.float64),
+        iterations=[IterationTrace(**t) for t in data["iterations"]],
+        converged=data["converged"],
+        source=data["source"],
+    )
+
+
+class RunService:
+    """Cached, parallel executor of the evaluation matrix.
+
+    Args:
+        backends: explicit backend instances; defaults to one instance of
+            every registered backend (with ``backend_configs`` overrides).
+        backend_configs: per-backend config overrides by name, used only
+            when ``backends`` is not given.
+        default_source: source vertex for source-based algorithms.
+        cache_dir: directory for the persistent JSON result cache; no
+            persistence when ``None``.
+        use_cache: master switch for the persistent cache.
+        jobs: default worker count for :meth:`matrix`.
+    """
+
+    def __init__(
+        self,
+        backends: Optional[Sequence[Backend]] = None,
+        *,
+        backend_configs: Optional[Mapping[str, object]] = None,
+        default_source: int = 0,
+        cache_dir: Optional[str] = None,
+        use_cache: bool = True,
+        jobs: int = 1,
+    ) -> None:
+        if backends is not None:
+            self.backends: List[Backend] = list(backends)
+        else:
+            self.backends = default_backends(backend_configs)
+        self.default_source = default_source
+        self.cache_dir = (
+            os.path.abspath(os.path.expanduser(cache_dir))
+            if cache_dir
+            else None
+        )
+        self.use_cache = use_cache
+        self.jobs = max(int(jobs), 1)
+        self.stats = CacheStats()
+        self._cells: Dict[Tuple[str, str], CellResult] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Request / key plumbing
+    # ------------------------------------------------------------------
+    @property
+    def backend_names(self) -> List[str]:
+        return [b.name for b in self.backends]
+
+    @property
+    def persistent(self) -> bool:
+        return self.use_cache and self.cache_dir is not None
+
+    def request_for(self, algorithm: str, graph_key: str) -> RunRequest:
+        spec = get_algorithm(algorithm)
+        return RunRequest(
+            algorithm=spec.name,
+            graph_key=graph_key,
+            backends=tuple(
+                (b.name, b.config_digest()) for b in self.backends
+            ),
+            source=self.default_source,
+        )
+
+    def cache_key(self, request: RunRequest) -> str:
+        from .. import __version__
+
+        return request.cache_key(
+            datasets.fingerprint(request.graph_key), __version__
+        )
+
+    def _cache_path(self, request: RunRequest) -> str:
+        assert self.cache_dir is not None
+        return os.path.join(self.cache_dir, f"{self.cache_key(request)}.json")
+
+    # ------------------------------------------------------------------
+    # Persistent cache I/O
+    # ------------------------------------------------------------------
+    def _load_cached(
+        self, path: str, request: RunRequest
+    ) -> Optional[CellResult]:
+        """A CellResult from disk, or None when absent/stale/corrupt."""
+        try:
+            with open(path) as handle:
+                envelope = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            return None
+        try:
+            if envelope["schema"] != SCHEMA_VERSION:
+                return None
+            if envelope["key"] != self.cache_key(request):
+                return None
+            stored = envelope["reports"]
+            if set(stored) != {name for name, _ in request.backends}:
+                return None
+            reports = {
+                name: report_from_dict(data) for name, data in stored.items()
+            }
+            functional = _functional_from_dict(envelope["functional"])
+        except (KeyError, TypeError, ValueError, SchemaMismatchError):
+            return None
+        by_name = {b.name: b for b in self.backends}
+        energy = {
+            name: by_name[name].energy(report)
+            for name, report in reports.items()
+        }
+        return CellResult(
+            algorithm=request.algorithm,
+            graph_key=request.graph_key,
+            functional=functional,
+            reports=reports,
+            energy=energy,
+        )
+
+    def _store_cached(
+        self, path: str, request: RunRequest, cell: CellResult
+    ) -> None:
+        envelope = {
+            "schema": SCHEMA_VERSION,
+            "key": self.cache_key(request),
+            "request": dataclasses.asdict(request),
+            "functional": _functional_to_dict(cell.functional),
+            "reports": {
+                name: report_to_dict(report)
+                for name, report in cell.reports.items()
+            },
+        }
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        fd, tmp_path = tempfile.mkstemp(
+            dir=os.path.dirname(path), suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(envelope, handle)
+            os.replace(tmp_path, path)  # atomic under concurrent writers
+        except OSError:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+        else:
+            with self._lock:
+                self.stats.stores += 1
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def cell(self, algorithm: str, graph_key: str) -> CellResult:
+        """Run (or recall) one cell of the evaluation matrix."""
+        key = (algorithm.upper(), graph_key)
+        with self._lock:
+            cached = self._cells.get(key)
+            if cached is not None:
+                self.stats.memory_hits += 1
+                return cached
+
+        request = self.request_for(algorithm, graph_key)
+        path = self._cache_path(request) if self.persistent else None
+        if path is not None:
+            cell = self._load_cached(path, request)
+            if cell is not None:
+                with self._lock:
+                    self.stats.hits += 1
+                    return self._cells.setdefault(key, cell)
+
+        graph = datasets.load(graph_key)
+        cell = execute_cell(
+            graph,
+            algorithm,
+            graph_key=graph_key,
+            source=self.default_source,
+            backends=self.backends,
+        )
+        if path is not None:
+            self._store_cached(path, request, cell)
+        with self._lock:
+            self.stats.misses += 1
+            return self._cells.setdefault(key, cell)
+
+    def matrix(
+        self,
+        algorithms: Optional[Sequence[str]] = None,
+        graph_keys: Optional[Sequence[str]] = None,
+        jobs: Optional[int] = None,
+    ) -> List[CellResult]:
+        """All cells of the chosen sub-matrix, algorithm-major order.
+
+        With ``jobs > 1``, unresolved cells fan out across a thread pool;
+        results are identical to a serial run (cells are independent and
+        deterministic), only wall-clock changes.
+        """
+        algorithms = list(algorithms or algorithm_names())
+        graph_keys = list(graph_keys or REAL_WORLD_KEYS)
+        pairs = [(a, g) for a in algorithms for g in graph_keys]
+        workers = self.jobs if jobs is None else max(int(jobs), 1)
+        if workers > 1 and len(pairs) > 1:
+            unique = list(dict.fromkeys(pairs))
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                futures = [
+                    pool.submit(self.cell, algorithm, graph_key)
+                    for algorithm, graph_key in unique
+                ]
+                for future in futures:
+                    future.result()
+        return [self.cell(a, g) for a, g in pairs]

@@ -17,7 +17,7 @@ behind those choices so the ablation benchmarks can check them:
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 import numpy as np
 
@@ -25,10 +25,8 @@ from ..core.scheduling import balanced_dispatch
 from ..core.update_bitmap import ReadyToUpdateBitmap
 from ..core.vectorize import vectorize_workloads
 from ..graph import datasets
-from ..graph.csr import CSRGraph
 from ..graphdyns.config import DEFAULT_CONFIG
 from ..graphdyns.timing import GraphDynSTimingModel
-from ..memory.hbm import HBMConfig
 from ..vcpm.algorithms import get_algorithm
 from ..vcpm.engine import IterationData, run_vcpm
 from .figures import FigureResult

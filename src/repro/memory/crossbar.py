@@ -17,7 +17,7 @@ Two interfaces:
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, Tuple
+from typing import Dict
 
 import numpy as np
 

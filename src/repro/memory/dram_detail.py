@@ -17,7 +17,7 @@ Simplifications vs a full DRAM model (documented):
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, Iterable, List, Tuple
+from typing import Iterable, List, Tuple
 
 import numpy as np
 

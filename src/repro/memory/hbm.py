@@ -21,7 +21,7 @@ Forum 2014).
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, Iterable, List, Tuple
+from typing import Dict, Iterable
 
 from .request import AccessPattern, Region
 

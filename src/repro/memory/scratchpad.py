@@ -14,7 +14,7 @@ placement (``bank = key % num_banks``) mirrors Section 5.2.2.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List
+from typing import List
 
 import numpy as np
 

@@ -2,6 +2,8 @@
 
 from .counters import PhaseBreakdown, RunReport
 from .serialize import (
+    SCHEMA_VERSION,
+    SchemaMismatchError,
     load_reports,
     report_from_dict,
     report_to_dict,
@@ -11,6 +13,8 @@ from .serialize import (
 __all__ = [
     "PhaseBreakdown",
     "RunReport",
+    "SCHEMA_VERSION",
+    "SchemaMismatchError",
     "load_reports",
     "report_from_dict",
     "report_to_dict",

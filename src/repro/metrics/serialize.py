@@ -16,16 +16,29 @@ from ..memory.traffic import TrafficLedger
 from .counters import PhaseBreakdown, RunReport
 
 __all__ = [
+    "SCHEMA_VERSION",
+    "SchemaMismatchError",
     "report_to_dict",
     "report_from_dict",
     "save_reports",
     "load_reports",
 ]
 
+#: Version stamp written into every serialized report.  Bump whenever the
+#: dict layout changes incompatibly; readers reject mismatched stamps so a
+#: stale archive (or run-service cache entry) fails loudly instead of
+#: being silently misread.
+SCHEMA_VERSION = 2
+
+
+class SchemaMismatchError(ValueError):
+    """A serialized report was written under an incompatible schema."""
+
 
 def report_to_dict(report: RunReport) -> Dict[str, Any]:
     """Lossless dict form of a :class:`RunReport`."""
     return {
+        "schema": SCHEMA_VERSION,
         "system": report.system,
         "algorithm": report.algorithm,
         "graph_name": report.graph_name,
@@ -68,7 +81,19 @@ def report_to_dict(report: RunReport) -> Dict[str, Any]:
 
 
 def report_from_dict(data: Dict[str, Any]) -> RunReport:
-    """Rebuild a :class:`RunReport` written by :func:`report_to_dict`."""
+    """Rebuild a :class:`RunReport` written by :func:`report_to_dict`.
+
+    Raises:
+        SchemaMismatchError: the dict carries a ``schema`` stamp from an
+            incompatible serializer version.  Stamp-less dicts (written
+            before versioning existed) are accepted as legacy.
+    """
+    stamp = data.get("schema", SCHEMA_VERSION)
+    if stamp != SCHEMA_VERSION:
+        raise SchemaMismatchError(
+            f"report schema {stamp!r} incompatible with "
+            f"supported version {SCHEMA_VERSION}"
+        )
     ledger = TrafficLedger()
     for region_name, amount in data["traffic"]["read"].items():
         ledger.read_bytes[Region(region_name)] = amount

@@ -8,7 +8,7 @@ queues, and the double-buffered active-vertex store of Section 5.3.2.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Generic, Iterable, List, Optional, TypeVar
+from typing import Deque, Generic, List, TypeVar
 
 T = TypeVar("T")
 

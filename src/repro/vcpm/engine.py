@@ -25,7 +25,7 @@ hardware performs.
 from __future__ import annotations
 
 import dataclasses
-from typing import Iterable, List, Optional, Protocol, Sequence
+from typing import List, Optional, Protocol, Sequence
 
 import numpy as np
 

@@ -19,7 +19,7 @@ records and vertex-list workloads) consumed by the hardware model.
 from __future__ import annotations
 
 import dataclasses
-from typing import Iterator, List, Optional, Tuple
+from typing import List, Optional
 
 import numpy as np
 

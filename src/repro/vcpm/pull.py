@@ -15,7 +15,6 @@ of every *active* one.
 
 from __future__ import annotations
 
-import dataclasses
 from typing import List, Optional
 
 import numpy as np

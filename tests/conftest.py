@@ -1,6 +1,5 @@
 """Shared fixtures: small deterministic graphs reused across test modules."""
 
-import numpy as np
 import pytest
 
 from repro.graph import (

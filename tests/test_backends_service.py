@@ -1,0 +1,236 @@
+"""Backend registry and run-service tests.
+
+Covers the registry contract (lookup, errors, extension), the persistent
+result cache (hit/miss/invalidation-on-config-change/stale rejection),
+parallel-vs-serial matrix equivalence, and the versioned report schema.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro import backends
+from repro.backends import (
+    BaseBackend,
+    GraphDynSBackend,
+    GunrockBackend,
+    config_digest,
+)
+from repro.graph import datasets
+from repro.graphdyns.config import DEFAULT_CONFIG
+from repro.harness import ExperimentSuite, RunService, default_backends
+from repro.metrics.serialize import (
+    SCHEMA_VERSION,
+    SchemaMismatchError,
+    report_from_dict,
+    report_to_dict,
+)
+
+
+def _reports_json(cells):
+    """Canonical JSON of every cell's reports (bit-exact comparison)."""
+    return json.dumps(
+        [
+            {name: report_to_dict(r) for name, r in cell.reports.items()}
+            for cell in cells
+        ],
+        sort_keys=True,
+    )
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        names = backends.available()
+        assert names[:3] == ["GraphDynS", "Graphicionado", "Gunrock"]
+
+    def test_lookup_is_case_insensitive(self):
+        assert backends.get("graphdyns") is backends.get("GRAPHDYNS")
+
+    def test_unknown_backend_lists_available(self):
+        with pytest.raises(KeyError) as excinfo:
+            backends.get("tpu")
+        message = str(excinfo.value)
+        assert "tpu" in message
+        for name in ("GraphDynS", "Graphicionado", "Gunrock"):
+            assert name in message
+
+    def test_register_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            backends.register("gunrock", GunrockBackend)
+
+    def test_register_and_unregister_custom_backend(self):
+        class FakeBackend(BaseBackend):
+            name = "Fake"
+
+        backends.register("Fake", FakeBackend)
+        try:
+            assert backends.is_registered("fake")
+            assert isinstance(backends.create("fake"), FakeBackend)
+            assert "Fake" in backends.available()
+        finally:
+            backends.unregister("Fake")
+        assert not backends.is_registered("fake")
+
+    def test_create_with_config_override(self):
+        config = DEFAULT_CONFIG.with_num_ues(64)
+        backend = backends.create("graphdyns", config)
+        assert backend.config.num_ues == 64
+
+    def test_config_digest_changes_with_config(self):
+        default = GraphDynSBackend()
+        tweaked = GraphDynSBackend(DEFAULT_CONFIG.with_num_ues(64))
+        assert default.config_digest() != tweaked.config_digest()
+        assert default.config_digest() == GraphDynSBackend().config_digest()
+
+    def test_config_digest_of_plain_values(self):
+        assert config_digest({"a": 1}) == config_digest({"a": 1})
+        assert config_digest({"a": 1}) != config_digest({"a": 2})
+
+    def test_default_backends_applies_overrides(self):
+        config = DEFAULT_CONFIG.with_num_ues(32)
+        built = default_backends({"GraphDynS": config})
+        by_name = {b.name: b for b in built}
+        assert by_name["GraphDynS"].config.num_ues == 32
+
+
+class TestPersistentCache:
+    def test_miss_then_hit_across_services(self, tmp_path):
+        cache = str(tmp_path / "cache")
+        first = RunService(cache_dir=cache)
+        cell = first.cell("BFS", "FR")
+        assert (first.stats.misses, first.stats.hits) == (1, 0)
+        assert first.stats.stores == 1
+
+        second = RunService(cache_dir=cache)
+        replayed = second.cell("BFS", "FR")
+        assert (second.stats.misses, second.stats.hits) == (0, 1)
+        assert second.stats.hit_rate == 1.0
+        assert _reports_json([cell]) == _reports_json([replayed])
+        # Functional outcome survives the round trip too.
+        assert replayed.functional.converged == cell.functional.converged
+        assert (
+            replayed.functional.properties == cell.functional.properties
+        ).all()
+        # Energy is recomputed consistently from the cached reports.
+        for name in cell.energy:
+            assert replayed.energy[name].total_j == pytest.approx(
+                cell.energy[name].total_j
+            )
+
+    def test_config_change_invalidates(self, tmp_path):
+        cache = str(tmp_path / "cache")
+        RunService(cache_dir=cache).cell("BFS", "FR")
+        tweaked = RunService(
+            cache_dir=cache,
+            backend_configs={"graphdyns": DEFAULT_CONFIG.with_num_ues(64)},
+        )
+        tweaked.cell("BFS", "FR")
+        assert tweaked.stats.misses == 1
+        assert tweaked.stats.hits == 0
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = str(tmp_path / "cache")
+        service = RunService(cache_dir=cache)
+        request = service.request_for("BFS", "FR")
+        path = service._cache_path(request)
+        (tmp_path / "cache").mkdir(exist_ok=True)
+        with open(path, "w") as handle:
+            handle.write("{not json")
+        service.cell("BFS", "FR")
+        assert service.stats.misses == 1
+
+    def test_stale_schema_is_a_miss(self, tmp_path):
+        cache = str(tmp_path / "cache")
+        service = RunService(cache_dir=cache)
+        service.cell("BFS", "FR")
+        request = service.request_for("BFS", "FR")
+        path = service._cache_path(request)
+        with open(path) as handle:
+            envelope = json.load(handle)
+        envelope["schema"] = SCHEMA_VERSION - 1
+        with open(path, "w") as handle:
+            json.dump(envelope, handle)
+        rerun = RunService(cache_dir=cache)
+        rerun.cell("BFS", "FR")
+        assert rerun.stats.misses == 1
+
+    def test_no_cache_dir_means_no_files(self, tmp_path):
+        service = RunService()
+        service.cell("BFS", "FR")
+        assert not service.persistent
+        assert list(tmp_path.iterdir()) == []
+
+
+class TestParallelMatrix:
+    def test_parallel_matches_serial_bit_exact(self):
+        serial = RunService(use_cache=False)
+        parallel = RunService(use_cache=False, jobs=4)
+        algorithms, graphs = ["BFS", "CC"], ["FR"]
+        a = serial.matrix(algorithms, graphs, jobs=1)
+        b = parallel.matrix(algorithms, graphs)
+        assert _reports_json(a) == _reports_json(b)
+
+    def test_matrix_order_is_algorithm_major(self):
+        service = RunService(use_cache=False)
+        cells = service.matrix(["BFS", "CC"], ["FR"], jobs=2)
+        assert [(c.algorithm, c.graph_key) for c in cells] == [
+            ("BFS", "FR"),
+            ("CC", "FR"),
+        ]
+
+    def test_suite_facade_exposes_service(self):
+        suite = ExperimentSuite(jobs=2)
+        assert suite.service.jobs == 2
+        a = suite.cell("BFS", "FR")
+        b = suite.cell("bfs", "FR")
+        assert a is b
+        assert suite.service.stats.memory_hits == 1
+
+
+class TestSerializeSchema:
+    def test_reports_are_stamped(self):
+        service = RunService(use_cache=False)
+        report = service.cell("BFS", "FR").reports["GraphDynS"]
+        data = report_to_dict(report)
+        assert data["schema"] == SCHEMA_VERSION
+
+    def test_mismatched_stamp_rejected(self):
+        service = RunService(use_cache=False)
+        report = service.cell("BFS", "FR").reports["Gunrock"]
+        data = report_to_dict(report)
+        data["schema"] = SCHEMA_VERSION + 1
+        with pytest.raises(SchemaMismatchError):
+            report_from_dict(data)
+
+    def test_region_keys_and_extra_survive_roundtrip(self):
+        service = RunService(use_cache=False)
+        report = service.cell("BFS", "FR").reports["GraphDynS"]
+        report.extra["custom_metric"] = 1.25
+        rebuilt = report_from_dict(report_to_dict(report))
+        assert rebuilt.traffic.read_bytes == report.traffic.read_bytes
+        assert rebuilt.traffic.write_bytes == report.traffic.write_bytes
+        assert rebuilt.extra == report.extra
+        assert rebuilt.extra["custom_metric"] == 1.25
+
+
+class TestDatasetCache:
+    def test_load_is_identity_stable(self):
+        assert datasets.load("FR") is datasets.load("FR")
+
+    def test_fingerprint_is_stable_and_distinct(self):
+        assert datasets.fingerprint("FR") == datasets.fingerprint("FR")
+        assert datasets.fingerprint("FR") != datasets.fingerprint("PK")
+
+    def test_fingerprint_tracks_spec_changes(self):
+        spec = datasets.DATASETS["FR"]
+        original = datasets.fingerprint("FR")
+        try:
+            datasets.DATASETS["FR"] = dataclasses.replace(spec, seed=99)
+            assert datasets.fingerprint("FR") != original
+        finally:
+            datasets.DATASETS["FR"] = spec
+
+    def test_fingerprint_unknown_key(self):
+        with pytest.raises(KeyError):
+            datasets.fingerprint("NOPE")

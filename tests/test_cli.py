@@ -24,6 +24,21 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["figure", "fig99"])
 
+    def test_service_flags(self):
+        args = build_parser().parse_args(
+            ["figure", "fig8", "--jobs", "4",
+             "--cache-dir", "/tmp/x", "--no-cache"]
+        )
+        assert args.jobs == 4
+        assert args.cache_dir == "/tmp/x"
+        assert args.no_cache is True
+
+    def test_service_flag_defaults(self):
+        args = build_parser().parse_args(["compare"])
+        assert args.jobs == 1
+        assert args.cache_dir is None
+        assert args.no_cache is False
+
 
 class TestCommands:
     def test_datasets(self, capsys):
@@ -44,10 +59,26 @@ class TestCommands:
         ) == 0
         assert "Gunrock" in capsys.readouterr().out
 
-    def test_compare(self, capsys):
-        assert main(["compare", "--graph", "FR", "--algo", "BFS"]) == 0
+    def test_compare(self, capsys, tmp_path):
+        assert main(
+            ["compare", "--graph", "FR", "--algo", "BFS",
+             "--cache-dir", str(tmp_path)]
+        ) == 0
         out = capsys.readouterr().out
         for system in ("Gunrock", "Graphicionado", "GraphDynS"):
+            assert system in out
+
+    def test_compare_second_run_served_from_cache(self, capsys, tmp_path):
+        argv = ["compare", "--graph", "FR", "--algo", "BFS",
+                "--cache-dir", str(tmp_path)]
+        assert main(argv) == 0
+        assert main(argv) == 0
+        assert list(tmp_path.glob("*.json")), "no cache entry written"
+
+    def test_backends_lists_registered_systems(self, capsys):
+        assert main(["backends"]) == 0
+        out = capsys.readouterr().out
+        for system in ("GraphDynS", "Graphicionado", "Gunrock"):
             assert system in out
 
     def test_figure_static(self, capsys):

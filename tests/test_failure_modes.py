@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.graph import CSRGraph, power_law_graph, star_graph
+from repro.graph import CSRGraph, star_graph
 from repro.graphdyns import GraphDynS, GraphDynSConfig
 from repro.graphdyns.timing import GraphDynSTimingModel
 from repro.vcpm import ALGORITHMS, run_vcpm

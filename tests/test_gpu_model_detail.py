@@ -2,8 +2,6 @@
 
 import dataclasses
 
-import numpy as np
-import pytest
 
 from repro.gpu import GPUConfig, Gunrock, GunrockTimingModel
 from repro.vcpm import ALGORITHMS, run_vcpm

@@ -12,7 +12,7 @@ from repro.graph import (
     load_imbalance,
     power_law_exponent_estimate,
 )
-from repro.graph.generators import power_law_graph, star_graph, uniform_random_graph
+from repro.graph.generators import power_law_graph, uniform_random_graph
 
 
 class TestDegreeHistogram:

@@ -1,6 +1,5 @@
 """Graph slicing (Section 4.2.1) tests."""
 
-import numpy as np
 import pytest
 
 from repro.graph import plan_slices

@@ -1,6 +1,5 @@
 """GraphDynS timing model tests: structure and ablation directionality."""
 
-import numpy as np
 import pytest
 
 from repro.graphdyns import GraphDynS, GraphDynSTimingModel

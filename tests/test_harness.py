@@ -5,7 +5,6 @@ algorithm subsets so the suite stays fast; the full-matrix runs live in the
 benchmark harness.
 """
 
-import math
 
 import pytest
 

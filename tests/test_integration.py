@@ -5,10 +5,8 @@ on the FR proxy -- the smallest Table 4 graph -- and assert the *ordering*
 relationships the paper reports, not absolute numbers.
 """
 
-import numpy as np
 import pytest
 
-from repro.energy import graphdyns_energy
 from repro.graph import datasets
 from repro.harness import run_cell
 from repro.memory import Region

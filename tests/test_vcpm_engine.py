@@ -3,13 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.vcpm import (
-    ALGORITHMS,
-    gather_edge_indices,
-    get_algorithm,
-    reference,
-    run_vcpm,
-)
+from repro.vcpm import ALGORITHMS, gather_edge_indices, reference, run_vcpm
 
 
 def _finite_equal(a, b):

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.vcpm import ALGORITHMS, ReduceOp
-from repro.vcpm.spec import AlgorithmSpec
 
 
 class TestReduceOp:
