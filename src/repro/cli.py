@@ -88,6 +88,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="disable the persistent result cache",
     )
+    service_flags.add_argument(
+        "--executor",
+        choices=("thread", "process"),
+        default="thread",
+        help="worker pool kind for --jobs > 1: 'thread' shares one "
+        "interpreter, 'process' bypasses the GIL (default: thread)",
+    )
 
     run = sub.add_parser("run", help="run one algorithm on one system")
     run.add_argument("--graph", default="LJ", help="Table 4 dataset key")
@@ -101,6 +108,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="which registered backend",
     )
     run.add_argument("--source", type=int, default=0, help="source vertex")
+    run.add_argument(
+        "--profile",
+        action="store_true",
+        help="run under cProfile and print the top-20 cumulative entries",
+    )
 
     compare = sub.add_parser(
         "compare",
@@ -154,10 +166,36 @@ def _suite_from_args(args: argparse.Namespace) -> ExperimentSuite:
         cache_dir=cache_dir,
         use_cache=not args.no_cache,
         jobs=args.jobs,
+        executor=args.executor,
     )
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    if args.profile:
+        return _profiled(lambda: _cmd_run_body(args))
+    return _cmd_run_body(args)
+
+
+def _profiled(fn: Callable[[], int]) -> int:
+    """Run ``fn`` under cProfile, print top-20 cumulative entries.
+
+    Keeps future hot spots discoverable from the CLI without editing
+    code: ``repro run --graph RM22 --algo SSSP --profile``.
+    """
+    import cProfile
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        status = fn()
+    finally:
+        profiler.disable()
+        pstats.Stats(profiler).sort_stats("cumulative").print_stats(20)
+    return status
+
+
+def _cmd_run_body(args: argparse.Namespace) -> int:
     graph = datasets.load(args.graph)
     backend = backends.create(args.system)
     result, report = backend.run(

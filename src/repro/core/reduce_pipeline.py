@@ -144,37 +144,35 @@ class StallingReducePipeline:
         ops: Sequence[Tuple[int, float]],
         vb: Optional[Dict[int, float]] = None,
     ) -> ReduceResult:
-        """Stream ops with stall-on-conflict issue logic."""
+        """Stream ops with stall-on-conflict issue logic.
+
+        An op to address ``a`` issued at cycle ``t`` occupies EXE then WB
+        and has written back once two more pipeline advances complete, so
+        the next op to ``a`` may not issue before cycle ``t + 2``.  A
+        last-issue-cycle map per address therefore replaces scanning the
+        in-flight slots (the former ``while any(...)`` walk over the
+        pipeline depth): the bubble count is just the distance still
+        missing to that threshold.  Retired writes land in issue order,
+        so the Vertex Buffer outcome is the plain sequential fold.
+        """
         vb = dict(vb) if vb else {}
-        in_flight: List[Optional[Tuple[int, float]]] = [None, None]  # EXE, WB
+        last_issue: Dict[int, int] = {}
         cycles = 0
         stalls = 0
 
-        def drain_one() -> None:
-            # Advance the pipeline one cycle: WB retires, EXE becomes WB.
-            wb = in_flight[1]
-            if wb is not None:
-                addr, operand_value = wb
-                old = vb.get(addr, self.identity)
-                vb[addr] = self.reduce_op.scalar(old, operand_value)
-            in_flight[1] = in_flight[0]
-            in_flight[0] = None
-
         for addr, value in ops:
-            # Stall (bubble) while the address is in flight.
-            while any(slot is not None and slot[0] == addr for slot in in_flight):
-                drain_one()
-                cycles += 1
-                stalls += 1
-            # Issue: the pipeline advances and the op enters the EXE slot.
-            drain_one()
-            in_flight[0] = (addr, value)
-            cycles += 1
+            earliest = last_issue.get(addr)
+            if earliest is not None and earliest > cycles:
+                stalls += earliest - cycles  # bubble until WB completes
+                cycles = earliest
+            cycles += 1  # issue consumes one pipeline advance
+            last_issue[addr] = cycles + 2
+            vb[addr] = self.reduce_op.scalar(
+                vb.get(addr, self.identity), value
+            )
 
-        # Drain remaining stages.
-        while any(slot is not None for slot in in_flight):
-            drain_one()
-            cycles += 1
+        if ops:
+            cycles += self.DEPTH - 1  # drain EXE and WB of the last op
 
         return ReduceResult(cycles=cycles, ops=len(ops), stall_cycles=stalls, vb=vb)
 

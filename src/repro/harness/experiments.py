@@ -53,6 +53,7 @@ class ExperimentSuite:
         cache_dir: Optional[str] = None,
         use_cache: bool = True,
         jobs: int = 1,
+        executor: str = "thread",
     ) -> None:
         self.graphdyns_config = graphdyns_config
         self.default_source = default_source
@@ -63,6 +64,7 @@ class ExperimentSuite:
             cache_dir=cache_dir,
             use_cache=use_cache,
             jobs=jobs,
+            executor=executor,
         )
 
     def cell(self, algorithm: str, graph_key: str) -> CellResult:

@@ -20,11 +20,16 @@ evaluation results (figures, tables, sweeps, benchmarks, CLI):
     3. parallel fan-out of cache-miss cells across a
        :class:`concurrent.futures.ThreadPoolExecutor` (one functional
        ``run_vcpm`` per cell still drives all backends' observers
-       simultaneously; independent cells fan out across workers).
+       simultaneously; independent cells fan out across workers) or,
+       with ``executor="process"``, across a
+       :class:`concurrent.futures.ProcessPoolExecutor` so the numpy-and-
+       Python cell work scales across cores instead of serializing on
+       the GIL (requests, backends, and :class:`CellResult` are all
+       picklable by construction).
 
 Cell execution is deterministic and cells are independent, so a
-``jobs=4`` matrix produces bit-identical ``RunReport`` JSON to a serial
-run.
+``jobs=4`` matrix -- thread or process -- produces bit-identical
+``RunReport`` JSON to a serial run.
 """
 
 from __future__ import annotations
@@ -35,7 +40,7 @@ import json
 import os
 import tempfile
 import threading
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
@@ -100,6 +105,25 @@ def default_backends(
         backend_registry.create(name, overrides.get(name.lower()))
         for name in backend_registry.available()
     ]
+
+
+def _cell_in_subprocess(
+    backends: Sequence[Backend],
+    algorithm: str,
+    graph_key: str,
+    source: int,
+) -> "CellResult":
+    """Worker entry point for ``executor="process"`` matrix fan-out.
+
+    Module-level so :mod:`concurrent.futures` can pickle it by
+    reference; the proxy graph is (re)built inside the worker from the
+    dataset registry, which is deterministic, so the returned
+    :class:`CellResult` is identical to an in-process execution.
+    """
+    graph = datasets.load(graph_key)
+    return execute_cell(
+        graph, algorithm, graph_key=graph_key, source=source, backends=backends
+    )
 
 
 def execute_cell(
@@ -215,6 +239,10 @@ class RunService:
             persistence when ``None``.
         use_cache: master switch for the persistent cache.
         jobs: default worker count for :meth:`matrix`.
+        executor: ``"thread"`` (default) or ``"process"``; how
+            :meth:`matrix` fans out cache-miss cells when ``jobs > 1``.
+            Processes sidestep the GIL, so CPU-bound matrices scale with
+            cores; results are bit-identical either way.
     """
 
     def __init__(
@@ -226,11 +254,17 @@ class RunService:
         cache_dir: Optional[str] = None,
         use_cache: bool = True,
         jobs: int = 1,
+        executor: str = "thread",
     ) -> None:
+        if executor not in ("thread", "process"):
+            raise ValueError(
+                f"unknown executor {executor!r}; expected 'thread' or 'process'"
+            )
         if backends is not None:
             self.backends: List[Backend] = list(backends)
         else:
             self.backends = default_backends(backend_configs)
+        self.executor = executor
         self.default_source = default_source
         self.cache_dir = (
             os.path.abspath(os.path.expanduser(cache_dir))
@@ -385,24 +419,81 @@ class RunService:
         algorithms: Optional[Sequence[str]] = None,
         graph_keys: Optional[Sequence[str]] = None,
         jobs: Optional[int] = None,
+        executor: Optional[str] = None,
     ) -> List[CellResult]:
         """All cells of the chosen sub-matrix, algorithm-major order.
 
-        With ``jobs > 1``, unresolved cells fan out across a thread pool;
-        results are identical to a serial run (cells are independent and
-        deterministic), only wall-clock changes.
+        With ``jobs > 1``, unresolved cells fan out across a thread pool
+        (or, with ``executor="process"``, a process pool that bypasses
+        the GIL); results are identical to a serial run (cells are
+        independent and deterministic), only wall-clock changes.
         """
         algorithms = list(algorithms or algorithm_names())
         graph_keys = list(graph_keys or REAL_WORLD_KEYS)
         pairs = [(a, g) for a in algorithms for g in graph_keys]
         workers = self.jobs if jobs is None else max(int(jobs), 1)
+        executor = self.executor if executor is None else executor
         if workers > 1 and len(pairs) > 1:
             unique = list(dict.fromkeys(pairs))
-            with ThreadPoolExecutor(max_workers=workers) as pool:
-                futures = [
-                    pool.submit(self.cell, algorithm, graph_key)
-                    for algorithm, graph_key in unique
-                ]
-                for future in futures:
-                    future.result()
+            if executor == "process":
+                self._resolve_in_processes(unique, workers)
+            else:
+                with ThreadPoolExecutor(max_workers=workers) as pool:
+                    futures = [
+                        pool.submit(self.cell, algorithm, graph_key)
+                        for algorithm, graph_key in unique
+                    ]
+                    for future in futures:
+                        future.result()
         return [self.cell(a, g) for a, g in pairs]
+
+    def _resolve_in_processes(
+        self, pairs: Sequence[Tuple[str, str]], workers: int
+    ) -> None:
+        """Execute unresolved cells in a process pool, then memoize.
+
+        The memo and persistent-cache tiers are consulted in the parent
+        first, so worker processes only ever run genuine cache misses;
+        finished cells are stored exactly as the serial path stores them.
+        """
+        pending: List[Tuple[Tuple[str, str], RunRequest, Optional[str]]] = []
+        for algorithm, graph_key in pairs:
+            key = (algorithm.upper(), graph_key)
+            with self._lock:
+                if key in self._cells:
+                    continue
+            request = self.request_for(algorithm, graph_key)
+            path = self._cache_path(request) if self.persistent else None
+            if path is not None:
+                cached = self._load_cached(path, request)
+                if cached is not None:
+                    with self._lock:
+                        self.stats.hits += 1
+                        self._cells.setdefault(key, cached)
+                    continue
+            pending.append((key, request, path))
+        if not pending:
+            return
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                (
+                    pool.submit(
+                        _cell_in_subprocess,
+                        self.backends,
+                        request.algorithm,
+                        request.graph_key,
+                        request.source,
+                    ),
+                    key,
+                    request,
+                    path,
+                )
+                for key, request, path in pending
+            ]
+            for future, key, request, path in futures:
+                cell = future.result()
+                if path is not None:
+                    self._store_cached(path, request, cell)
+                with self._lock:
+                    self.stats.misses += 1
+                    self._cells.setdefault(key, cell)

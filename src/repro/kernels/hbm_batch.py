@@ -1,0 +1,51 @@
+"""Batched HBM access-pattern timing.
+
+:meth:`repro.memory.hbm.HBMModel.pattern_cycles` prices one
+:class:`~repro.memory.request.AccessPattern` with a handful of scalar
+float operations; servicing a batch one pattern at a time makes the
+Python call overhead the dominant cost when timing models emit many
+patterns per phase.  :func:`pattern_cycles_batch` evaluates the same
+expression -- identical operations in identical order, so identical
+IEEE-754 results -- over whole arrays, and :func:`batch_cycles_sum`
+accumulates them in the same left-to-right order the scalar ``service``
+loop used (``cumsum`` is sequential, so the final partial sum is
+bit-identical to ``cycles += pattern_cycles(p)``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["pattern_cycles_batch", "batch_cycles_sum"]
+
+
+def pattern_cycles_batch(
+    config, total_bytes: np.ndarray, run_bytes: np.ndarray
+) -> np.ndarray:
+    """Per-pattern service cycles on an otherwise idle memory.
+
+    Array form of :meth:`HBMModel.pattern_cycles`; ``config`` is an
+    :class:`~repro.memory.hbm.HBMConfig`.
+    """
+    total = np.asarray(total_bytes, dtype=np.float64)
+    run = np.maximum(np.asarray(run_bytes, dtype=np.float64), 1.0)
+    padded_run = np.maximum(run, float(config.min_access_bytes))
+    num_runs = np.maximum(1.0, total / run)
+    padded_bytes = num_runs * padded_run
+
+    transfer_cycles = padded_bytes / config.peak_bytes_per_cycle
+    rows_per_run = np.maximum(1.0, padded_run / config.row_bytes)
+    total_misses = num_runs * rows_per_run
+    overlap = config.bank_parallelism * config.num_channels
+    miss_cycles = total_misses * config.row_miss_cycles / overlap
+    cycles = transfer_cycles + miss_cycles
+    cycles[total == 0] = 0.0
+    return cycles
+
+
+def batch_cycles_sum(cycles: np.ndarray) -> float:
+    """Left-to-right float accumulation (matches the scalar loop)."""
+    cycles = np.asarray(cycles, dtype=np.float64)
+    if cycles.size == 0:
+        return 0.0
+    return float(np.cumsum(cycles)[-1])

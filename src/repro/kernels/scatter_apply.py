@@ -1,0 +1,139 @@
+"""Batched rendering of Algorithm 2's Scatter/Apply processing stages.
+
+:func:`repro.vcpm.run_optimized` walks dispatched edge lists one edge at
+a time -- a faithful but interpreter-bound reading of the pseudocode.
+Because the Dispatching stage knows every ``(offset, edgeCnt)`` before
+processing begins (the paper's decoupling insight), the entire Scatter
+processing stage of an iteration is expressible as one gather +
+``Process_Edge`` over arrays + an in-order ``ufunc.at`` fold, and the
+Apply stage as one array ``Apply`` + ``flatnonzero``.
+
+Per-edge semantics are preserved exactly:
+
+* ``gather_edge_indices`` expands edges in the same traversal order the
+  scalar loop uses, so SUM reductions accumulate in the identical order
+  (``ufunc.at`` applies repeated destinations element by element);
+* ``Process_Edge``/``Apply`` are elementwise ufunc expressions, so the
+  batched evaluation produces bit-identical floats to the per-edge
+  size-1-array calls;
+* dispatch counters (scatter records, apply vertex-list workloads,
+  edges processed) follow the same arithmetic.
+
+``tests/test_kernels_equivalence.py`` asserts the resulting
+:class:`~repro.vcpm.optimized.OptimizedRunResult` is field-for-field
+identical to the scalar rendering on random graphs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+from ..vcpm.engine import gather_edge_indices
+from ..vcpm.spec import AlgorithmSpec
+
+__all__ = ["run_optimized_batched"]
+
+
+def run_optimized_batched(
+    graph: CSRGraph,
+    spec: AlgorithmSpec,
+    source: Optional[int] = 0,
+    max_iterations: Optional[int] = None,
+    v_list_size: int = 8,
+    pr_tolerance: float = 1e-7,
+) -> "OptimizedRunResult":
+    """Execute Algorithm 2 with batched processing stages.
+
+    Drop-in replacement for ``run_optimized(..., kernel="scalar")``:
+    same arguments, bit-identical :class:`OptimizedRunResult`.
+    """
+    from ..vcpm.optimized import OptimizedRunResult
+
+    if v_list_size < 1:
+        raise ValueError("v_list_size must be >= 1")
+    num_vertices = graph.num_vertices
+    if max_iterations is None:
+        max_iterations = spec.default_max_iterations
+    if not spec.needs_source:
+        source = None
+
+    prop = spec.initial_prop(num_vertices, source)
+    t_prop = spec.initial_tprop(num_vertices)
+    deg = graph.out_degree().astype(np.float64)
+    c_prop = deg if spec.uses_degree_cprop else np.zeros(num_vertices)
+    if spec.uses_degree_cprop and num_vertices:
+        prop = prop / np.maximum(c_prop, 1.0)
+
+    if spec.all_vertices_active_initially:
+        active_ids = np.arange(num_vertices, dtype=np.int64)
+    elif source is not None and num_vertices:
+        active_ids = np.asarray([source], dtype=np.int64)
+    else:
+        active_ids = np.zeros(0, dtype=np.int64)
+
+    # Apply's dispatching stage always tiles all vertices into
+    # ceil(V / vListSize) vertex-list workloads.
+    workloads_per_iteration = -(-num_vertices // v_list_size)
+
+    scatter_dispatches = 0
+    apply_dispatches = 0
+    edges_processed = 0
+    converged = False
+    completed_iterations = 0
+
+    for _ in range(max_iterations):
+        if active_ids.size == 0:
+            converged = True
+            break
+
+        # --- Scatter: dispatching stage (counts only; the per-vertex
+        # (prop, offset, edgeCnt) records are implicit in the gather) ---
+        scatter_dispatches += int(active_ids.size)
+
+        # --- Scatter: processing stage, batched (lines 4-7) ---
+        edge_idx = gather_edge_indices(graph.offsets, active_ids)
+        if edge_idx.size:
+            degrees = (
+                graph.offsets[active_ids + 1] - graph.offsets[active_ids]
+            )
+            u_prop = np.repeat(prop[active_ids], degrees)
+            edge_dst = graph.edges[edge_idx]
+            edge_w = graph.weights[edge_idx].astype(np.float64)
+            results = spec.process_edge(u_prop, edge_w)
+            spec.reduce_op.ufunc.at(t_prop, edge_dst, results)
+        edges_processed += int(edge_idx.size)
+
+        # --- Apply: dispatching stage ---
+        apply_dispatches += workloads_per_iteration
+
+        # --- Apply: processing stage, batched (lines 11-18) ---
+        old_prop = prop.copy()
+        apply_res = spec.apply(prop, t_prop, c_prop)
+        activated_mask = apply_res != prop
+        prop = np.where(activated_mask, apply_res, prop)
+
+        completed_iterations += 1
+        if spec.resets_tprop_each_iteration:
+            t_prop = spec.initial_tprop(num_vertices)
+            delta = float(np.abs(prop - old_prop).sum())
+            if delta < pr_tolerance:
+                converged = True
+                break
+            active_ids = np.arange(num_vertices, dtype=np.int64)
+        else:
+            active_ids = np.flatnonzero(activated_mask)
+            if active_ids.size == 0:
+                converged = True
+                break
+
+    return OptimizedRunResult(
+        properties=prop,
+        num_iterations=completed_iterations,
+        converged=converged,
+        scatter_dispatches=scatter_dispatches,
+        apply_dispatches=apply_dispatches,
+        edges_processed=edges_processed,
+    )

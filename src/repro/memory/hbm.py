@@ -23,6 +23,8 @@ from __future__ import annotations
 import dataclasses
 from typing import Dict, Iterable
 
+import numpy as np
+
 from .request import AccessPattern, Region
 
 __all__ = ["HBMConfig", "ServiceResult", "HBMModel", "HBM1_512GBS", "HBM2_900GBS"]
@@ -132,6 +134,52 @@ class HBMModel:
         Patterns within one call are assumed to interleave across channels,
         so their service times add (bandwidth is the shared resource).
         Accumulates global traffic/energy state.
+
+        Timing is computed through the batched kernel
+        (:mod:`repro.kernels.hbm_batch`) -- one array expression over the
+        whole batch instead of one Python call per pattern --
+        bit-identical to :meth:`service_scalar`.
+        """
+        from ..kernels.hbm_batch import batch_cycles_sum, pattern_cycles_batch
+
+        patterns = list(patterns)
+        count = len(patterns)
+        total_arr = np.fromiter(
+            (p.total_bytes for p in patterns), dtype=np.float64, count=count
+        )
+        run_arr = np.fromiter(
+            (p.run_bytes for p in patterns), dtype=np.float64, count=count
+        )
+        cycles = batch_cycles_sum(
+            pattern_cycles_batch(self.config, total_arr, run_arr)
+        )
+        total_bytes = 0
+        by_region: Dict[Region, int] = {}
+        for pattern in patterns:
+            total_bytes += pattern.total_bytes
+            by_region[pattern.region] = (
+                by_region.get(pattern.region, 0) + pattern.total_bytes
+            )
+            self.bytes_by_region[pattern.region] += pattern.total_bytes
+            if pattern.is_write:
+                self.write_bytes += pattern.total_bytes
+            else:
+                self.read_bytes += pattern.total_bytes
+        ideal = self.ideal_cycles(total_bytes)
+        self.total_cycles += cycles
+        self.total_ideal_cycles += ideal
+        return ServiceResult(
+            cycles=cycles,
+            total_bytes=total_bytes,
+            ideal_cycles=ideal,
+            bytes_by_region=by_region,
+        )
+
+    def service_scalar(self, patterns: Iterable[AccessPattern]) -> ServiceResult:
+        """Retained per-pattern reference for :meth:`service`.
+
+        Identical accounting with one :meth:`pattern_cycles` call per
+        pattern; the equivalence tests replay batches through both paths.
         """
         cycles = 0.0
         total_bytes = 0

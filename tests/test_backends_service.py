@@ -188,6 +188,36 @@ class TestParallelMatrix:
         assert suite.service.stats.memory_hits == 1
 
 
+class TestProcessExecutor:
+    def test_process_matrix_matches_serial_bit_exact(self):
+        serial = RunService(use_cache=False)
+        procs = RunService(use_cache=False, executor="process")
+        algorithms, graphs = ["BFS", "CC"], ["FR"]
+        a = serial.matrix(algorithms, graphs, jobs=1)
+        b = procs.matrix(algorithms, graphs, jobs=2)
+        assert _reports_json(a) == _reports_json(b)
+        assert procs.stats.misses == 2
+
+    def test_process_executor_uses_parent_caches(self, tmp_path):
+        cache = str(tmp_path / "cache")
+        warm = RunService(cache_dir=cache, executor="process")
+        warm.matrix(["BFS"], ["FR"], jobs=2)
+        assert warm.stats.misses == 1
+        replay = RunService(cache_dir=cache, executor="process")
+        replay.matrix(["BFS"], ["FR"], jobs=2)
+        # Served from the persistent cache in-parent: no subprocess work.
+        assert (replay.stats.misses, replay.stats.hits) == (0, 1)
+
+    def test_rejects_unknown_executor(self):
+        with pytest.raises(ValueError):
+            RunService(executor="greenlet")
+
+    def test_per_call_executor_override(self):
+        service = RunService(use_cache=False)  # thread default
+        cells = service.matrix(["BFS"], ["FR"], jobs=2, executor="process")
+        assert [(c.algorithm, c.graph_key) for c in cells] == [("BFS", "FR")]
+
+
 class TestSerializeSchema:
     def test_reports_are_stamped(self):
         service = RunService(use_cache=False)

@@ -38,6 +38,21 @@ class TestParser:
         assert args.jobs == 1
         assert args.cache_dir is None
         assert args.no_cache is False
+        assert args.executor == "thread"
+
+    def test_executor_flag(self):
+        args = build_parser().parse_args(
+            ["figure", "fig6", "--jobs", "2", "--executor", "process"]
+        )
+        assert args.executor == "process"
+
+    def test_rejects_unknown_executor(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["compare", "--executor", "fiber"])
+
+    def test_profile_flag(self):
+        assert build_parser().parse_args(["run"]).profile is False
+        assert build_parser().parse_args(["run", "--profile"]).profile is True
 
 
 class TestCommands:
@@ -52,6 +67,14 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "GraphDynS" in out
         assert "GTEPS" in out
+
+    def test_run_profiled(self, capsys):
+        assert main(
+            ["run", "--graph", "FR", "--algo", "BFS", "--profile"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "GTEPS" in out  # the normal report still prints
+        assert "cumulative" in out  # plus the cProfile table
 
     def test_run_baseline_system(self, capsys):
         assert main(
