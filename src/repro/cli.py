@@ -5,6 +5,8 @@
     python -m repro run --graph LJ --algo SSSP --system graphdyns
     python -m repro compare --graph HO --algo PR
     python -m repro figure fig6 fig7 --jobs 4
+    python -m repro matrix --jobs 4 --checkpoint sweep.jsonl -o reports.json
+    python -m repro matrix --resume sweep.jsonl -o reports.json
     python -m repro report -o EXPERIMENTS.md
     python -m repro backends
     python -m repro datasets
@@ -14,6 +16,14 @@ newly registered backend is immediately runnable and comparable.  The
 ``figure``/``report``/``compare`` commands share a persistent result
 cache (disable with ``--no-cache``; relocate with ``--cache-dir``) and
 can fan the evaluation matrix out across workers with ``--jobs``.
+
+``matrix`` runs the evaluation matrix through the resilience layer
+(:mod:`repro.harness.resilience`): per-cell timeouts, bounded retries
+with jittered backoff, process→thread→serial executor degradation, and
+a checkpoint manifest (``--checkpoint``/``--resume``) so a killed sweep
+re-executes only its unfinished cells.  ``--inject`` enables the
+deterministic fault hooks (``crash:N``, ``hang:N:SECONDS``, ``kill:N``,
+``flaky-store:N``, ``corrupt-cache:N``) used by the failure-mode tests.
 """
 
 from __future__ import annotations
@@ -132,6 +142,74 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="+",
         choices=sorted(_FIGURES) + ["all"],
         help="artifacts to regenerate",
+    )
+
+    matrix = sub.add_parser(
+        "matrix",
+        parents=[service_flags],
+        help="run the evaluation matrix under the resilience layer",
+    )
+    matrix.add_argument(
+        "--algorithms",
+        nargs="+",
+        default=None,
+        choices=algorithm_names(),
+        help="algorithms to run (default: all; ignored with --resume "
+        "unless given)",
+    )
+    matrix.add_argument(
+        "--graphs",
+        nargs="+",
+        default=None,
+        help="Table 4 dataset keys (default: the six real-world proxies)",
+    )
+    matrix.add_argument(
+        "--retries",
+        type=int,
+        default=3,
+        help="max attempts per cell before the sweep aborts (default: 3)",
+    )
+    matrix.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-cell attempt deadline in seconds (default: none)",
+    )
+    matrix.add_argument(
+        "--backoff",
+        type=float,
+        default=0.05,
+        help="base retry backoff in seconds, doubled per attempt with "
+        "deterministic jitter (default: 0.05)",
+    )
+    matrix.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="MANIFEST",
+        help="journal completed cells to this manifest file",
+    )
+    matrix.add_argument(
+        "--resume",
+        default=None,
+        metavar="MANIFEST",
+        help="resume the sweep recorded in this manifest: only "
+        "unfinished cells are executed (finished ones replay from the "
+        "persistent cache)",
+    )
+    matrix.add_argument(
+        "--inject",
+        action="append",
+        default=[],
+        metavar="FAULT",
+        help="deterministic fault injection for failure drills, e.g. "
+        "crash:2, hang:1:0.5, kill:1, flaky-store:1, corrupt-cache:1 "
+        "(repeatable)",
+    )
+    matrix.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        help="write the canonical RunReport JSON of every cell here",
     )
 
     report = sub.add_parser(
@@ -271,6 +349,59 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_matrix(args: argparse.Namespace) -> int:
+    from .harness.faults import build_injector
+    from .harness.resilience import RetryPolicy
+    from .harness.service import canonical_reports_json
+
+    cache_dir: Optional[str]
+    if args.no_cache:
+        cache_dir = None
+    else:
+        cache_dir = args.cache_dir or DEFAULT_CACHE_DIR
+    manifest_path = args.resume or args.checkpoint
+    suite = ExperimentSuite(
+        cache_dir=cache_dir,
+        use_cache=not args.no_cache,
+        jobs=args.jobs,
+        executor=args.executor,
+        resilience=RetryPolicy(
+            max_attempts=max(args.retries, 1),
+            backoff_base=args.backoff,
+            timeout=args.timeout,
+        ),
+        faults=build_injector(args.inject),
+        manifest_path=manifest_path,
+        resume=args.resume is not None,
+    )
+    cells = suite.service.matrix(args.algorithms, args.graphs)
+    if args.output:
+        payload = canonical_reports_json(cells)
+        with open(args.output, "w") as handle:
+            handle.write(payload)
+        print(f"wrote {args.output} ({len(cells)} cells)")
+    stats = suite.service.stats
+    print(
+        render_table(
+            ["counter", "value"],
+            [
+                ["cells", len(cells)],
+                ["cache hits", stats.hits],
+                ["executed (misses)", stats.misses],
+                ["stores", stats.stores],
+                ["store failures", stats.store_failures],
+                ["retries", stats.retries],
+                ["timeouts", stats.timeouts],
+                ["executor degradations", stats.degradations],
+            ],
+            title="matrix run (resilient)",
+        )
+    )
+    if manifest_path:
+        print(f"checkpoint manifest: {manifest_path}")
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from .harness.report import generate_experiments_md
 
@@ -341,6 +472,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "run": _cmd_run,
         "compare": _cmd_compare,
         "figure": _cmd_figure,
+        "matrix": _cmd_matrix,
         "report": _cmd_report,
         "backends": _cmd_backends,
         "datasets": _cmd_datasets,

@@ -17,6 +17,8 @@ from typing import List, Optional, Sequence, Tuple
 from ..backends.base import Backend
 from ..graph.csr import CSRGraph
 from ..graphdyns.config import DEFAULT_CONFIG, GraphDynSConfig
+from .faults import FaultInjector
+from .resilience import ResilientRunService, RetryPolicy
 from .service import (
     REAL_WORLD_KEYS,
     CellResult,
@@ -41,7 +43,10 @@ class ExperimentSuite:
     """Lazily-evaluated, memoized (algorithm x graph) result matrix.
 
     A facade over :class:`RunService` keeping the historical constructor
-    while exposing the new caching/parallelism knobs.
+    while exposing the new caching/parallelism knobs.  Passing any of
+    ``resilience`` / ``faults`` / ``manifest_path`` upgrades the backing
+    service to a :class:`ResilientRunService` (retries, timeouts,
+    executor degradation, checkpoint/resume).
     """
 
     def __init__(
@@ -54,10 +59,14 @@ class ExperimentSuite:
         use_cache: bool = True,
         jobs: int = 1,
         executor: str = "thread",
+        resilience: Optional[RetryPolicy] = None,
+        faults: Optional[FaultInjector] = None,
+        manifest_path: Optional[str] = None,
+        resume: bool = False,
     ) -> None:
         self.graphdyns_config = graphdyns_config
         self.default_source = default_source
-        self.service = RunService(
+        common = dict(
             backends=backends,
             backend_configs={"graphdyns": graphdyns_config},
             default_source=default_source,
@@ -66,6 +75,20 @@ class ExperimentSuite:
             jobs=jobs,
             executor=executor,
         )
+        if (
+            resilience is not None
+            or faults is not None
+            or manifest_path is not None
+        ):
+            self.service: RunService = ResilientRunService(
+                policy=resilience,
+                faults=faults,
+                manifest_path=manifest_path,
+                resume=resume,
+                **common,
+            )
+        else:
+            self.service = RunService(**common)
 
     def cell(self, algorithm: str, graph_key: str) -> CellResult:
         """Run (or recall) one cell of the evaluation matrix."""

@@ -40,8 +40,17 @@ import json
 import os
 import tempfile
 import threading
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+import warnings
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+from typing import (
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 import numpy as np
 
@@ -50,7 +59,7 @@ from ..backends.base import Backend
 from ..energy.model import EnergyReport
 from ..graph import datasets
 from ..graph.csr import CSRGraph
-from ..metrics.counters import RunReport
+from ..metrics.counters import CacheStats, RunReport
 from ..metrics.serialize import (
     SCHEMA_VERSION,
     SchemaMismatchError,
@@ -63,9 +72,12 @@ from ..vcpm.engine import IterationTrace, VCPMResult, run_vcpm
 __all__ = [
     "REAL_WORLD_KEYS",
     "CacheStats",
+    "CacheStoreWarning",
+    "CellExecutionError",
     "CellResult",
     "RunRequest",
     "RunService",
+    "canonical_reports_json",
     "default_backends",
     "execute_cell",
 ]
@@ -182,26 +194,83 @@ class RunRequest:
         return hashlib.sha256(text.encode("utf-8")).hexdigest()[:32]
 
 
-@dataclasses.dataclass
-class CacheStats:
-    """Counters exposed by :attr:`RunService.stats`."""
+class CacheStoreWarning(RuntimeWarning):
+    """A persistent-cache write failed; the run continues uncached."""
 
-    hits: int = 0  # served from the persistent cache
-    misses: int = 0  # executed from scratch
-    stores: int = 0  # written to the persistent cache
-    memory_hits: int = 0  # served from the in-process memo
 
-    @property
-    def requests(self) -> int:
-        return self.hits + self.misses + self.memory_hits
+class CellExecutionError(RuntimeError):
+    """One (algorithm, graph) cell failed for good.
 
-    @property
-    def hit_rate(self) -> float:
-        """Persistent-cache hit fraction over cold (non-memo) requests."""
-        cold = self.hits + self.misses
-        if cold == 0:
-            return 0.0
-        return self.hits / cold
+    Raised by :meth:`RunService.matrix` (and the resilience layer once
+    its retries are exhausted) so callers always learn *which* cell of
+    the matrix died, not just the underlying exception.
+    """
+
+    def __init__(
+        self,
+        algorithm: str,
+        graph_key: str,
+        detail: str = "",
+        attempts: int = 1,
+    ) -> None:
+        self.algorithm = algorithm
+        self.graph_key = graph_key
+        self.attempts = attempts
+        message = f"matrix cell ({algorithm}, {graph_key}) failed"
+        if attempts > 1:
+            message += f" after {attempts} attempts"
+        if detail:
+            message += f": {detail}"
+        super().__init__(message)
+
+
+def canonical_reports_json(cells: Sequence["CellResult"]) -> str:
+    """Canonical JSON of every cell's reports.
+
+    Sorted keys and a stable cell order make this byte-comparable: two
+    runs of the same matrix agree iff their canonical JSON is equal
+    (this is the equality the failure-mode battery asserts).
+    """
+    return json.dumps(
+        [
+            {
+                "algorithm": cell.algorithm,
+                "graph_key": cell.graph_key,
+                "reports": {
+                    name: report_to_dict(report)
+                    for name, report in cell.reports.items()
+                },
+            }
+            for cell in cells
+        ],
+        sort_keys=True,
+    )
+
+
+def _await_cell_futures(
+    futures: "Dict[Future, Tuple[str, str]]",
+    on_done: Optional[Callable[[Tuple[str, str]], None]] = None,
+) -> None:
+    """Drain cell futures; on failure cancel the rest and name the cell.
+
+    Without the cancellation, an early ``future.result()`` raising would
+    leak every queued cell: the pool's ``__exit__`` waits for them all
+    to run to completion before the exception propagates.
+    """
+    for future in list(futures):
+        try:
+            future.result()
+        except BaseException as exc:
+            for pending in futures:
+                pending.cancel()
+            if isinstance(exc, CellExecutionError):
+                raise
+            algorithm, graph_key = futures[future]
+            raise CellExecutionError(
+                algorithm, graph_key, detail=repr(exc)
+            ) from exc
+        if on_done is not None:
+            on_done(futures[future])
 
 
 def _functional_to_dict(result: VCPMResult) -> Dict[str, object]:
@@ -362,6 +431,28 @@ class RunService:
                 for name, report in cell.reports.items()
             },
         }
+        try:
+            self._write_envelope(path, envelope)
+        except OSError as exc:
+            with self._lock:
+                self.stats.store_failures += 1
+            warnings.warn(
+                f"failed to persist cache entry {path}: {exc!r}; "
+                "the result is kept in memory but will be recomputed "
+                "by future processes",
+                CacheStoreWarning,
+                stacklevel=2,
+            )
+        else:
+            with self._lock:
+                self.stats.stores += 1
+
+    def _write_envelope(self, path: str, envelope: Dict[str, object]) -> None:
+        """Atomically write one cache envelope; raises ``OSError``.
+
+        Overridden by the resilience layer to add fault-injection hooks
+        and bounded store retries.
+        """
         os.makedirs(os.path.dirname(path), exist_ok=True)
         fd, tmp_path = tempfile.mkstemp(
             dir=os.path.dirname(path), suffix=".tmp"
@@ -375,9 +466,7 @@ class RunService:
                 os.unlink(tmp_path)
             except OSError:
                 pass
-        else:
-            with self._lock:
-                self.stats.stores += 1
+            raise
 
     # ------------------------------------------------------------------
     # Execution
@@ -400,19 +489,28 @@ class RunService:
                     self.stats.hits += 1
                     return self._cells.setdefault(key, cell)
 
-        graph = datasets.load(graph_key)
-        cell = execute_cell(
-            graph,
-            algorithm,
-            graph_key=graph_key,
-            source=self.default_source,
-            backends=self.backends,
-        )
+        cell = self._run_cell(request)
         if path is not None:
             self._store_cached(path, request, cell)
         with self._lock:
             self.stats.misses += 1
             return self._cells.setdefault(key, cell)
+
+    def _run_cell(self, request: RunRequest) -> CellResult:
+        """Execute one genuine cache miss.
+
+        The single seam every cell execution funnels through: the
+        resilience layer overrides this to add fault hooks, per-attempt
+        timeouts, and bounded retries around the same computation.
+        """
+        graph = datasets.load(request.graph_key)
+        return execute_cell(
+            graph,
+            request.algorithm,
+            graph_key=request.graph_key,
+            source=request.source,
+            backends=self.backends,
+        )
 
     def matrix(
         self,
@@ -439,12 +537,14 @@ class RunService:
                 self._resolve_in_processes(unique, workers)
             else:
                 with ThreadPoolExecutor(max_workers=workers) as pool:
-                    futures = [
-                        pool.submit(self.cell, algorithm, graph_key)
+                    futures = {
+                        pool.submit(self.cell, algorithm, graph_key): (
+                            algorithm,
+                            graph_key,
+                        )
                         for algorithm, graph_key in unique
-                    ]
-                    for future in futures:
-                        future.result()
+                    }
+                    _await_cell_futures(futures)
         return [self.cell(a, g) for a, g in pairs]
 
     def _resolve_in_processes(

@@ -17,7 +17,9 @@ behind those choices so the ablation benchmarks can check them:
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Sequence
+import functools
+import time
+from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -30,8 +32,11 @@ from ..graphdyns.timing import GraphDynSTimingModel
 from ..vcpm.algorithms import get_algorithm
 from ..vcpm.engine import IterationData, run_vcpm
 from .figures import FigureResult
+from .resilience import RetryPolicy, retry_call
 
 __all__ = [
+    "SWEEPS",
+    "run_sweeps",
     "sweep_e_threshold",
     "sweep_n_simt",
     "sweep_bitmap_block",
@@ -202,3 +207,41 @@ def sweep_bandwidth(
         headers=["GB/s", "GTEPS", "bw_util_%"],
         rows=rows,
     )
+
+
+#: Named sweep registry consumed by the resilient driver below.
+SWEEPS: Dict[str, Callable[..., FigureResult]] = {
+    "e_threshold": sweep_e_threshold,
+    "n_simt": sweep_n_simt,
+    "bitmap_block": sweep_bitmap_block,
+    "bandwidth": sweep_bandwidth,
+}
+
+
+def run_sweeps(
+    names: Optional[Sequence[str]] = None,
+    *,
+    policy: Optional[RetryPolicy] = None,
+    sleep: Callable[[float], None] = time.sleep,
+    **kwargs,
+) -> Dict[str, FigureResult]:
+    """Run named sweeps under the resilience layer's retry policy.
+
+    Each sweep replays a full functional run, so a transient failure
+    (a flaky dataset load, an injected fault in a test) costs one
+    retry, not the whole ablation campaign.  ``kwargs`` are forwarded
+    to every sweep function (e.g. ``graph_key="FR"``).
+    """
+    selected = list(names) if names is not None else list(SWEEPS)
+    unknown = [name for name in selected if name not in SWEEPS]
+    if unknown:
+        raise KeyError(
+            f"unknown sweeps {unknown}; available: {sorted(SWEEPS)}"
+        )
+    results: Dict[str, FigureResult] = {}
+    for name in selected:
+        fn = functools.partial(SWEEPS[name], **kwargs)
+        results[name] = retry_call(
+            fn, policy=policy, label=f"sweep:{name}", sleep=sleep
+        )
+    return results

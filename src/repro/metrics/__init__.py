@@ -1,6 +1,6 @@
 """Performance accounting structures."""
 
-from .counters import PhaseBreakdown, RunReport
+from .counters import CacheStats, PhaseBreakdown, RunReport
 from .serialize import (
     SCHEMA_VERSION,
     SchemaMismatchError,
@@ -11,6 +11,7 @@ from .serialize import (
 )
 
 __all__ = [
+    "CacheStats",
     "PhaseBreakdown",
     "RunReport",
     "SCHEMA_VERSION",

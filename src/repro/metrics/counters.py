@@ -7,7 +7,45 @@ from typing import Dict, List
 
 from ..memory.traffic import TrafficLedger
 
-__all__ = ["PhaseBreakdown", "RunReport"]
+__all__ = ["CacheStats", "PhaseBreakdown", "RunReport"]
+
+
+@dataclasses.dataclass
+class CacheStats:
+    """Counters exposed by ``RunService.stats``.
+
+    The first block tracks the reuse tiers of the run service; the
+    second tracks the resilience layer (``repro.harness.resilience``):
+    how often cells had to be retried, timed out, or fell back to a
+    less parallel executor, and how often persisting a result failed.
+    """
+
+    hits: int = 0  # served from the persistent cache
+    misses: int = 0  # executed from scratch
+    stores: int = 0  # written to the persistent cache
+    memory_hits: int = 0  # served from the in-process memo
+
+    store_failures: int = 0  # persistent-cache writes that failed for good
+    retries: int = 0  # cell/store attempts repeated after a transient error
+    timeouts: int = 0  # attempts abandoned at the per-cell deadline
+    degradations: int = 0  # executor fallbacks (process -> thread -> serial)
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses + self.memory_hits
+
+    @property
+    def hit_rate(self) -> float:
+        """Persistent-cache hit fraction over cold (non-memo) requests."""
+        cold = self.hits + self.misses
+        if cold == 0:
+            return 0.0
+        return self.hits / cold
+
+    @property
+    def recoveries(self) -> int:
+        """Total corrective actions taken by the resilience layer."""
+        return self.retries + self.timeouts + self.degradations
 
 
 @dataclasses.dataclass

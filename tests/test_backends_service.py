@@ -2,13 +2,19 @@
 
 Covers the registry contract (lookup, errors, extension), the persistent
 result cache (hit/miss/invalidation-on-config-change/stale rejection),
-parallel-vs-serial matrix equivalence, and the versioned report schema.
+store-failure accounting, a hypothesis round-trip suite for the cache
+envelope, parallel-vs-serial matrix equivalence, and the versioned
+report schema.
 """
 
 import dataclasses
 import json
+import os
 
+import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro import backends
 from repro.backends import (
@@ -19,13 +25,24 @@ from repro.backends import (
 )
 from repro.graph import datasets
 from repro.graphdyns.config import DEFAULT_CONFIG
-from repro.harness import ExperimentSuite, RunService, default_backends
+from repro.harness import (
+    CacheStoreWarning,
+    CellExecutionError,
+    ExperimentSuite,
+    RunService,
+    default_backends,
+)
+from repro.harness.service import (
+    _functional_from_dict,
+    _functional_to_dict,
+)
 from repro.metrics.serialize import (
     SCHEMA_VERSION,
     SchemaMismatchError,
     report_from_dict,
     report_to_dict,
 )
+from repro.vcpm.engine import IterationTrace, VCPMResult
 
 
 def _reports_json(cells):
@@ -242,6 +259,246 @@ class TestSerializeSchema:
         assert rebuilt.traffic.write_bytes == report.traffic.write_bytes
         assert rebuilt.extra == report.extra
         assert rebuilt.extra["custom_metric"] == 1.25
+
+
+class TestStoreFailures:
+    def test_unwritable_cache_path_warns_and_counts(self, tmp_path):
+        # The cache dir's parent is a regular file, so every mkdir/write
+        # under it raises OSError -- even when running as root (which
+        # ignores mode bits, making chmod-based tests unreliable).
+        blocker = tmp_path / "blocker"
+        blocker.write_text("not a directory")
+        service = RunService(cache_dir=str(blocker / "cache"))
+        with pytest.warns(CacheStoreWarning):
+            cell = service.cell("BFS", "FR")
+        assert cell.reports  # the result itself still comes back
+        assert service.stats.store_failures == 1
+        assert service.stats.stores == 0
+        assert service.stats.misses == 1
+
+    @pytest.mark.skipif(
+        hasattr(os, "geteuid") and os.geteuid() == 0,
+        reason="root bypasses directory permission bits",
+    )
+    def test_readonly_cache_dir_warns_and_counts(self, tmp_path):
+        cache = tmp_path / "cache"
+        cache.mkdir()
+        cache.chmod(0o500)
+        try:
+            service = RunService(cache_dir=str(cache))
+            with pytest.warns(CacheStoreWarning):
+                service.cell("BFS", "FR")
+            assert service.stats.store_failures == 1
+            assert service.stats.stores == 0
+        finally:
+            cache.chmod(0o700)
+
+    def test_store_failure_does_not_poison_memo(self, tmp_path):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("x")
+        service = RunService(cache_dir=str(blocker / "cache"))
+        with pytest.warns(CacheStoreWarning):
+            first = service.cell("BFS", "FR")
+        assert service.cell("BFS", "FR") is first
+        assert service.stats.memory_hits == 1
+
+
+class TestMatrixFailurePropagation:
+    """The thread fan-out must not leak queued futures on failure."""
+
+    class _ExplodingService(RunService):
+        def __init__(self, fail_on, **kwargs):
+            super().__init__(**kwargs)
+            self.fail_on = fail_on
+            self.executed = []
+
+        def _run_cell(self, request):
+            if (request.algorithm, request.graph_key) == self.fail_on:
+                self.executed.append(self.fail_on)
+                raise ValueError("boom")
+            import time
+
+            time.sleep(0.05)  # keep workers busy so queued cells stay queued
+            self.executed.append((request.algorithm, request.graph_key))
+            return super()._run_cell(request)
+
+    def test_failure_names_cell_and_cancels_queue(self):
+        service = self._ExplodingService(
+            fail_on=("BFS", "FR"), use_cache=False
+        )
+        algorithms = ["BFS", "CC", "SSSP", "PR", "SSWP"]
+        with pytest.raises(CellExecutionError) as excinfo:
+            service.matrix(algorithms, ["FR", "PK"], jobs=2)
+        assert excinfo.value.algorithm == "BFS"
+        assert excinfo.value.graph_key == "FR"
+        assert "BFS" in str(excinfo.value) and "FR" in str(excinfo.value)
+        assert excinfo.value.__cause__ is not None
+        # The failing cell dies immediately; cancellation must stop the
+        # pool from grinding through the whole queued matrix.
+        assert len(service.executed) < len(algorithms) * 2
+
+    def test_serial_matrix_failure_names_cell_too(self):
+        service = self._ExplodingService(
+            fail_on=("CC", "FR"), use_cache=False
+        )
+        with pytest.raises(ValueError):
+            # Serial path: no futures to leak; original error surfaces.
+            service.matrix(["CC"], ["FR"], jobs=1)
+
+
+def _traces():
+    small = st.integers(min_value=0, max_value=10_000)
+    return st.builds(
+        IterationTrace,
+        iteration=small,
+        num_active=small,
+        num_edges=small,
+        num_modified=small,
+        num_activated=small,
+    )
+
+
+def _functional_results():
+    floats = st.floats(
+        allow_nan=True, allow_infinity=True, width=64
+    )
+    return st.builds(
+        VCPMResult,
+        algorithm=st.sampled_from(["BFS", "SSSP", "CC", "SSWP", "PR"]),
+        graph_name=st.text(
+            alphabet=st.characters(min_codepoint=32, max_codepoint=126),
+            max_size=12,
+        ),
+        properties=st.lists(floats, min_size=0, max_size=24).map(
+            lambda xs: np.asarray(xs, dtype=np.float64)
+        ),
+        iterations=st.lists(_traces(), max_size=6),
+        converged=st.booleans(),
+        source=st.one_of(st.none(), st.integers(0, 1 << 30)),
+    )
+
+
+class TestEnvelopeRoundTrip:
+    """Hypothesis round-trip suite for the persistent-cache envelope."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(result=_functional_results())
+    def test_functional_round_trips_through_json(self, result):
+        rebuilt = _functional_from_dict(
+            json.loads(json.dumps(_functional_to_dict(result)))
+        )
+        assert rebuilt.algorithm == result.algorithm
+        assert rebuilt.graph_name == result.graph_name
+        assert rebuilt.converged == result.converged
+        assert rebuilt.source == result.source
+        assert rebuilt.iterations == result.iterations
+        assert rebuilt.properties.dtype == np.float64
+        assert np.array_equal(
+            rebuilt.properties, result.properties, equal_nan=True
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(result=_functional_results())
+    def test_round_trip_is_canonical(self, result):
+        # Serializing the rebuilt result reproduces the same envelope:
+        # the dict form is a fixed point, so cached entries never churn.
+        once = _functional_to_dict(result)
+        twice = _functional_to_dict(
+            _functional_from_dict(json.loads(json.dumps(once)))
+        )
+        assert json.dumps(once, sort_keys=True) == json.dumps(
+            twice, sort_keys=True
+        )
+
+
+@pytest.fixture(scope="module")
+def warm_entry(tmp_path_factory):
+    """One real cached cell: (service, request, path, envelope text)."""
+    cache = str(tmp_path_factory.mktemp("envelope") / "cache")
+    service = RunService(cache_dir=cache)
+    service.cell("BFS", "FR")
+    request = service.request_for("BFS", "FR")
+    path = service._cache_path(request)
+    with open(path) as handle:
+        text = handle.read()
+    return service, request, path, text
+
+
+class TestLoadCachedRejection:
+    """Every malformed envelope is a miss, never an exception."""
+
+    def _fresh(self, warm_entry):
+        service, request, path, text = warm_entry
+        rerun = RunService(cache_dir=service.cache_dir)
+        return rerun, rerun.request_for("BFS", "FR"), path, text
+
+    def test_sanity_valid_entry_loads(self, warm_entry):
+        service, request, path, text = self._fresh(warm_entry)
+        with open(path, "w") as handle:
+            handle.write(text)
+        assert service._load_cached(path, request) is not None
+
+    @pytest.mark.parametrize("keep_fraction", [0.0, 0.25, 0.5, 0.99])
+    def test_truncated_json_rejected(self, warm_entry, keep_fraction):
+        service, request, path, text = self._fresh(warm_entry)
+        with open(path, "w") as handle:
+            handle.write(text[: int(len(text) * keep_fraction)])
+        assert service._load_cached(path, request) is None
+
+    def test_wrong_schema_rejected(self, warm_entry):
+        service, request, path, text = self._fresh(warm_entry)
+        envelope = json.loads(text)
+        envelope["schema"] = SCHEMA_VERSION + 1
+        with open(path, "w") as handle:
+            json.dump(envelope, handle)
+        assert service._load_cached(path, request) is None
+
+    def test_missing_backend_rejected(self, warm_entry):
+        service, request, path, text = self._fresh(warm_entry)
+        envelope = json.loads(text)
+        del envelope["reports"]["GraphDynS"]
+        with open(path, "w") as handle:
+            json.dump(envelope, handle)
+        assert service._load_cached(path, request) is None
+
+    def test_mismatched_key_rejected(self, warm_entry):
+        service, request, path, text = self._fresh(warm_entry)
+        envelope = json.loads(text)
+        envelope["key"] = "0" * 32
+        with open(path, "w") as handle:
+            json.dump(envelope, handle)
+        assert service._load_cached(path, request) is None
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda env: env.pop("functional"),
+            lambda env: env.pop("reports"),
+            lambda env: env.update(reports=[1, 2, 3]),
+            lambda env: env["functional"].pop("properties"),
+            lambda env: env["functional"].update(iterations=[{"bad": 1}]),
+        ],
+        ids=[
+            "no-functional",
+            "no-reports",
+            "reports-not-a-dict",
+            "no-properties",
+            "bad-iteration-fields",
+        ],
+    )
+    def test_structurally_broken_envelopes_rejected(
+        self, warm_entry, mutate
+    ):
+        service, request, path, text = self._fresh(warm_entry)
+        envelope = json.loads(text)
+        mutate(envelope)
+        with open(path, "w") as handle:
+            json.dump(envelope, handle)
+        assert service._load_cached(path, request) is None
+
+    def test_missing_file_rejected(self, warm_entry):
+        service, request, path, _ = self._fresh(warm_entry)
+        assert service._load_cached(path + ".nope", request) is None
 
 
 class TestDatasetCache:

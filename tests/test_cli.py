@@ -54,6 +54,36 @@ class TestParser:
         assert build_parser().parse_args(["run"]).profile is False
         assert build_parser().parse_args(["run", "--profile"]).profile is True
 
+    def test_matrix_defaults(self):
+        args = build_parser().parse_args(["matrix"])
+        assert args.algorithms is None
+        assert args.graphs is None
+        assert args.retries == 3
+        assert args.timeout is None
+        assert args.backoff == 0.05
+        assert args.checkpoint is None
+        assert args.resume is None
+        assert args.inject == []
+        assert args.output is None
+
+    def test_matrix_inject_is_repeatable(self):
+        args = build_parser().parse_args(
+            ["matrix", "--inject", "crash:1", "--inject", "flaky-store:1"]
+        )
+        assert args.inject == ["crash:1", "flaky-store:1"]
+
+    def test_matrix_rejects_unknown_algorithm(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["matrix", "--algorithms", "DFS"])
+
+    def test_matrix_shares_service_flags(self):
+        args = build_parser().parse_args(
+            ["matrix", "--jobs", "2", "--executor", "process", "--no-cache"]
+        )
+        assert args.jobs == 2
+        assert args.executor == "process"
+        assert args.no_cache is True
+
 
 class TestCommands:
     def test_datasets(self, capsys):
@@ -109,3 +139,40 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "power/area" in out
         assert "Process_Edge" in out
+
+
+class TestMatrixCommand:
+    _BASE = ["matrix", "--algorithms", "BFS", "CC", "--graphs", "FR",
+             "--backoff", "0"]
+
+    def test_injected_crash_output_matches_clean_run(self, capsys, tmp_path):
+        clean = tmp_path / "clean.json"
+        faulted = tmp_path / "faulted.json"
+        assert main(
+            self._BASE + ["--no-cache", "-o", str(clean)]
+        ) == 0
+        assert main(
+            self._BASE
+            + ["--no-cache", "--inject", "crash:1", "-o", str(faulted)]
+        ) == 0
+        assert clean.read_bytes() == faulted.read_bytes()
+        out = capsys.readouterr().out
+        assert "retries" in out
+
+    def test_checkpoint_then_resume(self, capsys, tmp_path):
+        manifest = tmp_path / "sweep.jsonl"
+        first = tmp_path / "first.json"
+        second = tmp_path / "second.json"
+        cache = ["--cache-dir", str(tmp_path / "cache")]
+        assert main(
+            self._BASE + cache
+            + ["--checkpoint", str(manifest), "-o", str(first)]
+        ) == 0
+        assert manifest.exists()
+        assert main(
+            self._BASE + cache
+            + ["--resume", str(manifest), "-o", str(second)]
+        ) == 0
+        assert first.read_bytes() == second.read_bytes()
+        out = capsys.readouterr().out
+        assert f"checkpoint manifest: {manifest}" in out
