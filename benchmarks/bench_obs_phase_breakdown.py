@@ -1,0 +1,80 @@
+"""Phase breakdown from the span recorder (the Fig. 8 discussion).
+
+One traced GraphDynS run; the per-stage table is built entirely from
+recorded spans (``scatter``, ``scatter.dispatch``, ``scatter.prefetch``,
+``scatter.reduce``, ``apply``) and must reconcile *float-for-float* with
+the run report's :class:`~repro.metrics.counters.PhaseBreakdown` sums --
+the spans are stamped from the same values in the same order.
+"""
+
+from conftest import run_once
+
+from repro.backends import create
+from repro.graph import datasets
+from repro.harness.io import render_table
+from repro.obs import TraceRecorder, use_recorder
+from repro.vcpm.algorithms import get_algorithm
+
+ALGO, GRAPH = "SSSP", "LJ"
+
+
+def _traced_run():
+    recorder = TraceRecorder()
+    graph = datasets.load(GRAPH)
+    with use_recorder(recorder):
+        _, report = create("graphdyns").run(graph, get_algorithm(ALGO))
+    recorder.finish()
+    return recorder, report
+
+
+def test_phase_breakdown_reconciles(benchmark):
+    recorder, report = run_once(benchmark, _traced_run)
+    main = recorder.span_totals(track="GraphDynS")
+    compute = recorder.span_totals(track="GraphDynS.compute")
+    memory = recorder.span_totals(track="GraphDynS.memory")
+    update = recorder.span_totals(track="GraphDynS.update")
+
+    rows = [
+        ["scatter", *main["scatter"], f"{report.scatter_cycles_total():,.0f}"],
+        [
+            "scatter.dispatch",
+            *compute["scatter.dispatch"],
+            f"{sum(p.scatter_compute_cycles for p in report.phases):,.0f}",
+        ],
+        [
+            "scatter.prefetch",
+            *memory["scatter.prefetch"],
+            f"{sum(p.scatter_memory_cycles for p in report.phases):,.0f}",
+        ],
+        [
+            "scatter.reduce",
+            *update["scatter.reduce"],
+            f"{sum(p.scatter_update_cycles for p in report.phases):,.0f}",
+        ],
+        ["apply", *main["apply"], f"{report.apply_cycles_total():,.0f}"],
+    ]
+    print()
+    print(
+        render_table(
+            ["stage", "spans", "cycles (trace)", "cycles (report)"],
+            [[r[0], r[1], f"{r[2]:,.0f}", r[3]] for r in rows],
+            title=f"{ALGO} on {GRAPH} (GraphDynS) stage cycles from spans",
+        )
+    )
+
+    # Exact reconciliation: span durations are the PhaseBreakdown values,
+    # summed in the same (recording) order.
+    assert main["scatter"][1] == report.scatter_cycles_total()
+    assert main["apply"][1] == report.apply_cycles_total()
+    assert compute["scatter.dispatch"][1] == sum(
+        p.scatter_compute_cycles for p in report.phases
+    )
+    assert memory["scatter.prefetch"][1] == sum(
+        p.scatter_memory_cycles for p in report.phases
+    )
+    assert update["scatter.reduce"][1] == sum(
+        p.scatter_update_cycles for p in report.phases
+    )
+    # One span per iteration per stage.
+    assert main["scatter"][0] == report.iterations
+    assert main["apply"][0] == report.iterations

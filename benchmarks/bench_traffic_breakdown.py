@@ -1,6 +1,13 @@
 """Per-region traffic breakdown (the Fig. 12 discussion, quantified).
 
-Paper narrative points checked:
+The rows come from the observability layer: one traced run of the cell,
+with every byte read off the per-system ``hbm.<system>.bytes.<region>``
+counters that :meth:`repro.memory.hbm.HBMModel.service` records.  The
+recorder totals are reconciled against each report's
+:class:`~repro.memory.traffic.TrafficLedger` (they must agree exactly --
+all traffic flows through ``service``), then the paper's narrative
+points are asserted on the recorder-derived rows:
+
 * GraphDynS "accesses offset array additionally in each iteration" yet
   still moves the least data overall;
 * Graphicionado's edge traffic exceeds GraphDynS's (src_vid: the paper
@@ -11,17 +18,61 @@ Paper narrative points checked:
 
 from conftest import run_once
 
-from repro.harness.figures import traffic_breakdown
+from repro.graph import datasets
+from repro.harness.io import render_table
+from repro.harness.service import execute_cell
+from repro.memory.request import Region
+from repro.obs import TraceRecorder, use_recorder
+
+SYSTEMS = ["Gunrock", "Graphicionado", "GraphDynS"]
 
 
-def test_traffic_breakdown(benchmark, suite):
-    result = run_once(benchmark, lambda: traffic_breakdown(suite, "SSSP", "LJ"))
+def _traced_cell():
+    recorder = TraceRecorder()
+    graph = datasets.load("LJ")
+    with use_recorder(recorder):
+        cell = execute_cell(graph, "SSSP", graph_key="LJ")
+    recorder.finish()
+    return recorder, cell
+
+
+def test_traffic_breakdown(benchmark):
+    recorder, cell = run_once(benchmark, _traced_cell)
+    snapshot = recorder.instruments.snapshot()
+
+    def counter(name):
+        return snapshot.get(name, {"value": 0})["value"]
+
+    rows = {
+        region.value: [
+            counter(f"hbm.{system}.bytes.{region.value}")
+            for system in SYSTEMS
+        ]
+        for region in Region
+    }
+    rows["TOTAL"] = [counter(f"hbm.{system}.bytes") for system in SYSTEMS]
+
     print()
-    print(result.render())
+    print(
+        render_table(
+            ["region", *SYSTEMS],
+            [
+                [name, *(f"{b / 1e6:.2f}" for b in values)]
+                for name, values in rows.items()
+            ],
+            title="SSSP on LJ traffic by region (MB, from hbm counters)",
+        )
+    )
 
-    rows = {row[0]: row[1:] for row in result.rows}
+    # The recorder counters must agree exactly with each report's ledger:
+    # every byte of modeled traffic flows through HBMModel.service.
+    for column, system in enumerate(SYSTEMS):
+        ledger = cell.reports[system].traffic
+        assert rows["TOTAL"][column] == ledger.total
+        for region in Region:
+            assert rows[region.value][column] == ledger.region_total(region)
+
     gun, gio, gds = range(3)
-
     # GraphDynS pays offset traffic the others avoid or amortize...
     assert rows["offset"][gds] > 0
     # ...but wins on edges (no src_vid, exact prefetch; paper: 1.65x).

@@ -21,6 +21,7 @@ from .graphdyns.config import GraphDynSConfig
 from .graphicionado.accelerator import Graphicionado
 from .gpu.gunrock import Gunrock
 from .metrics.counters import RunReport
+from .obs import TraceRecorder, get_recorder, use_recorder
 from .vcpm.algorithms import ALGORITHMS, algorithm_names, get_algorithm
 from .vcpm.engine import run_vcpm
 from . import backends
@@ -38,6 +39,9 @@ __all__ = [
     "Graphicionado",
     "Gunrock",
     "RunReport",
+    "TraceRecorder",
+    "get_recorder",
+    "use_recorder",
     "ALGORITHMS",
     "algorithm_names",
     "get_algorithm",

@@ -3,6 +3,7 @@
 ::
 
     python -m repro run --graph LJ --algo SSSP --system graphdyns
+    python -m repro trace bfs RM16 --out trace.json
     python -m repro compare --graph HO --algo PR
     python -m repro figure fig6 fig7 --jobs 4
     python -m repro matrix --jobs 4 --checkpoint sweep.jsonl -o reports.json
@@ -123,6 +124,42 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="run under cProfile and print the top-20 cumulative entries",
     )
+    run.add_argument(
+        "--obs",
+        action="store_true",
+        help="record spans/instruments and write a Chrome trace",
+    )
+    run.add_argument(
+        "--obs-out",
+        default="obs-trace.json",
+        help="Chrome trace path for --obs (default: obs-trace.json)",
+    )
+
+    trace = sub.add_parser(
+        "trace",
+        help="run one cell under the span recorder and export the trace",
+    )
+    trace.add_argument("algo", help="algorithm (case-insensitive, e.g. bfs)")
+    trace.add_argument(
+        "graph", help="Table 4 dataset key or proxy alias (e.g. RM16)"
+    )
+    trace.add_argument(
+        "--system",
+        default="graphdyns",
+        choices=backends.available_keys(),
+        help="which registered backend to trace",
+    )
+    trace.add_argument("--source", type=int, default=0, help="source vertex")
+    trace.add_argument(
+        "--out", default="trace.json", help="output path (default: trace.json)"
+    )
+    trace.add_argument(
+        "--format",
+        choices=("chrome", "jsonl", "stats"),
+        default="chrome",
+        help="chrome (chrome://tracing), jsonl (spans+instruments), or "
+        "stats (flat table) (default: chrome)",
+    )
 
     compare = sub.add_parser(
         "compare",
@@ -211,6 +248,17 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write the canonical RunReport JSON of every cell here",
     )
+    matrix.add_argument(
+        "--obs",
+        action="store_true",
+        help="record spans/instruments for executed cells and write a "
+        "Chrome trace",
+    )
+    matrix.add_argument(
+        "--obs-out",
+        default="obs-trace.json",
+        help="Chrome trace path for --obs (default: obs-trace.json)",
+    )
 
     report = sub.add_parser(
         "report",
@@ -274,11 +322,21 @@ def _profiled(fn: Callable[[], int]) -> int:
 
 
 def _cmd_run_body(args: argparse.Namespace) -> int:
+    from .obs import NULL_RECORDER, TraceRecorder, use_recorder
+
     graph = datasets.load(args.graph)
     backend = backends.create(args.system)
-    result, report = backend.run(
-        graph, get_algorithm(args.algo), source=args.source
-    )
+    recorder = TraceRecorder() if args.obs else NULL_RECORDER
+    with use_recorder(recorder):
+        result, report = backend.run(
+            graph, get_algorithm(args.algo), source=args.source
+        )
+    if args.obs:
+        from .obs.export import write_chrome_trace
+
+        recorder.finish()
+        write_chrome_trace(recorder, args.obs_out)
+        print(f"wrote {args.obs_out} ({len(recorder.spans)} spans)")
     print(
         render_table(
             ["metric", "value"],
@@ -297,6 +355,80 @@ def _cmd_run_body(args: argparse.Namespace) -> int:
         )
     )
     return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import math
+
+    from .obs import TraceRecorder, use_recorder
+    from .obs.export import stats_rows, to_jsonl, write_chrome_trace
+
+    spec = get_algorithm(args.algo)  # raises on unknown, case-insensitive
+    graph = datasets.load(args.graph)
+    backend = backends.create(args.system)
+    recorder = TraceRecorder()
+    with use_recorder(recorder):
+        result, report = backend.run(graph, spec, source=args.source)
+    recorder.finish()
+
+    if args.format == "chrome":
+        write_chrome_trace(recorder, args.out)
+    elif args.format == "jsonl":
+        with open(args.out, "w") as handle:
+            handle.write(to_jsonl(recorder))
+    else:
+        headers, rows = stats_rows(recorder)
+        with open(args.out, "w") as handle:
+            handle.write(render_table(headers, rows) + "\n")
+    print(
+        f"wrote {args.out} ({len(recorder.spans)} spans, "
+        f"{len(recorder.events)} events)"
+    )
+
+    # Reconcile the recorded spans against the report's cycle breakdown:
+    # per-phase span totals are summed in recording order, so they match
+    # the report float-for-float; the clock accumulates across phases and
+    # is compared with a tolerance.
+    totals = recorder.span_totals(track=report.system)
+    scatter = totals.get("scatter", (0, 0.0))[1]
+    apply_total = totals.get("apply", (0, 0.0))[1]
+    rows = [
+        ["iterations", report.iterations, report.iterations, "yes"],
+        [
+            "scatter cycles",
+            f"{scatter:,.0f}",
+            f"{report.scatter_cycles_total():,.0f}",
+            "yes" if scatter == report.scatter_cycles_total() else "NO",
+        ],
+        [
+            "apply cycles",
+            f"{apply_total:,.0f}",
+            f"{report.apply_cycles_total():,.0f}",
+            "yes" if apply_total == report.apply_cycles_total() else "NO",
+        ],
+        [
+            "total cycles",
+            f"{recorder.clock.now:,.0f}",
+            f"{report.cycles:,.0f}",
+            "yes" if math.isclose(recorder.clock.now, report.cycles) else "NO",
+        ],
+    ]
+    print(
+        render_table(
+            ["metric", "trace", "report", "reconciled"],
+            rows,
+            title=(
+                f"{spec.name} on {args.graph} ({report.system}), "
+                f"converged={result.converged}"
+            ),
+        )
+    )
+    reconciled = (
+        scatter == report.scatter_cycles_total()
+        and apply_total == report.apply_cycles_total()
+        and math.isclose(recorder.clock.now, report.cycles)
+    )
+    return 0 if reconciled else 1
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
@@ -374,7 +506,17 @@ def _cmd_matrix(args: argparse.Namespace) -> int:
         manifest_path=manifest_path,
         resume=args.resume is not None,
     )
-    cells = suite.service.matrix(args.algorithms, args.graphs)
+    from .obs import NULL_RECORDER, TraceRecorder, use_recorder
+
+    recorder = TraceRecorder() if args.obs else NULL_RECORDER
+    with use_recorder(recorder):
+        cells = suite.service.matrix(args.algorithms, args.graphs)
+    if args.obs:
+        from .obs.export import write_chrome_trace
+
+        recorder.finish()
+        write_chrome_trace(recorder, args.obs_out)
+        print(f"wrote {args.obs_out} ({len(recorder.spans)} spans)")
     if args.output:
         payload = canonical_reports_json(cells)
         with open(args.output, "w") as handle:
@@ -470,6 +612,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
         "run": _cmd_run,
+        "trace": _cmd_trace,
         "compare": _cmd_compare,
         "figure": _cmd_figure,
         "matrix": _cmd_matrix,

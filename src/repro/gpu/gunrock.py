@@ -25,6 +25,7 @@ from ..memory.hbm import HBMModel
 from ..memory.request import AccessPattern, Region
 from ..memory.traffic import TrafficLedger
 from ..metrics.counters import PhaseBreakdown, RunReport
+from ..obs import get_recorder
 from ..vcpm.engine import IterationData, VCPMResult, run_vcpm
 from ..vcpm.spec import AlgorithmSpec
 from .config import V100_GUNROCK, GPUConfig
@@ -45,7 +46,7 @@ class GunrockTimingModel:
         self.graph = graph
         self.spec = spec
         self.config = config
-        self.hbm = HBMModel(config.hbm)
+        self.hbm = HBMModel(config.hbm, owner="Gunrock")
         self.traffic = TrafficLedger()
         self.phases: List[PhaseBreakdown] = []
         self.total_cycles = 0.0
@@ -202,6 +203,48 @@ class GunrockTimingModel:
         total = (
             max(compute_cycles, service.cycles) + atomic_cycles + overhead
         )
+        rec = get_recorder()
+        if rec.enabled:
+            # The whole Gunrock iteration reports as one scatter phase
+            # (apply cost is folded in), so "scatter" covers `total`.
+            t0 = rec.clock.now
+            advance_cycles = max(compute_cycles, service.cycles)
+            rec.complete_span(
+                "scatter",
+                begin=t0,
+                duration=total,
+                track="Gunrock",
+                iteration=data.iteration,
+                edges=num_edges,
+            )
+            rec.complete_span(
+                "advance.compute",
+                begin=t0,
+                duration=compute_cycles,
+                track="Gunrock.compute",
+            )
+            rec.complete_span(
+                "advance.memory",
+                begin=t0,
+                duration=service.cycles,
+                track="Gunrock.memory",
+            )
+            if atomic_cycles:
+                rec.complete_span(
+                    "atomics",
+                    begin=t0 + advance_cycles,
+                    duration=atomic_cycles,
+                    track="Gunrock",
+                )
+            rec.complete_span(
+                "kernel_overhead",
+                begin=t0 + total - overhead,
+                duration=overhead,
+                track="Gunrock",
+            )
+            rec.counter("gunrock.edges").add(num_edges)
+            rec.counter("gunrock.stall_cycles").add(atomic_cycles)
+        rec.clock.advance(total)
         self.phases.append(
             PhaseBreakdown(
                 iteration=data.iteration,

@@ -27,9 +27,11 @@ from .generators import power_law_graph, rmat_graph
 __all__ = [
     "DatasetSpec",
     "DATASETS",
+    "ALIASES",
     "REAL_WORLD",
     "RMAT_SCALING",
     "load",
+    "resolve_key",
     "available",
     "fingerprint",
     "clear_cache",
@@ -147,23 +149,45 @@ DATASETS: Dict[str, DatasetSpec] = {
     spec.key: spec for spec in (*REAL_WORLD, *RMAT_SCALING)
 }
 
+#: Alternate spellings accepted by :func:`load`: the RMAT rows can be
+#: addressed by their *proxy* scale as well as the paper scale ("RM12" is
+#: the scale-12 proxy of the paper's RM22, and so on).
+ALIASES: Dict[str, str] = {
+    f"RM{spec.rmat_scale}": spec.key for spec in RMAT_SCALING
+}
+
 _cache: Dict[str, CSRGraph] = {}
 _cache_lock = threading.Lock()
+
+
+def resolve_key(key: str) -> str:
+    """Canonical registry key for ``key`` (case-insensitive, aliases ok).
+
+    Raises:
+        KeyError: the key matches neither a registry entry nor an alias.
+    """
+    folded = key.upper()
+    if folded in DATASETS:
+        return folded
+    if folded in ALIASES:
+        return ALIASES[folded]
+    raise KeyError(
+        f"unknown dataset {key!r}; available: {sorted(DATASETS)} "
+        f"(aliases: {sorted(ALIASES)})"
+    )
 
 
 def load(key: str, use_cache: bool = True) -> CSRGraph:
     """Load (and memoize) a proxy dataset by its Table 4 key, e.g. ``"LJ"``.
 
-    The memo is shared process-wide and identity-stable — repeated suite,
-    CLI, or parallel run-service calls never regenerate an identical
-    proxy graph.  Thread-safe: concurrent first loads race on the build
-    but :func:`dict.setdefault` guarantees all callers see one canonical
-    instance.
+    Keys are case-insensitive and accept the proxy-scale RMAT aliases
+    ("RM16" -> "RM26").  The memo is shared process-wide and
+    identity-stable — repeated suite, CLI, or parallel run-service calls
+    never regenerate an identical proxy graph.  Thread-safe: concurrent
+    first loads race on the build but :func:`dict.setdefault` guarantees
+    all callers see one canonical instance.
     """
-    if key not in DATASETS:
-        raise KeyError(
-            f"unknown dataset {key!r}; available: {sorted(DATASETS)}"
-        )
+    key = resolve_key(key)
     if use_cache:
         with _cache_lock:
             if key in _cache:
@@ -188,10 +212,7 @@ def fingerprint(key: str) -> str:
     so the run-service cache is invalidated whenever a dataset definition
     (seed, exponent, dimensions...) changes.
     """
-    if key not in DATASETS:
-        raise KeyError(
-            f"unknown dataset {key!r}; available: {sorted(DATASETS)}"
-        )
+    key = resolve_key(key)
     payload = dataclasses.asdict(DATASETS[key])
     payload["proxy_scale"] = PROXY_SCALE
     text = json.dumps(payload, sort_keys=True, default=repr)

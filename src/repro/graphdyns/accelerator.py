@@ -22,6 +22,7 @@ import numpy as np
 
 from ..graph.csr import CSRGraph
 from ..metrics.counters import RunReport
+from ..obs import get_recorder
 from ..vcpm.engine import VCPMResult, run_vcpm
 from ..vcpm.optimized import dispatch_scatter as make_active_records
 from ..vcpm.spec import AlgorithmSpec
@@ -112,6 +113,7 @@ class GraphDynS:
         processor = Processor(spec, cfg)
         updater = Updater(num_vertices, spec, cfg)
 
+        rec = get_recorder()
         converged = False
         iterations = 0
         for _ in range(max_iterations):
@@ -119,25 +121,44 @@ class GraphDynS:
                 converged = True
                 break
 
-            # --- Scatter: S1 read active vertex data, S2 dispatch, S3/S4
-            # read+process edges, S5 reduce into VB. ---
-            records = make_active_records(prop, graph.offsets, active)
-            workloads = dispatcher.dispatch_scatter(records)
-            prefetcher.plan(records, weighted=spec.uses_weights)
-            prefetcher.arrange_epb(workloads)
-            edge_results = processor.process_scatter(graph, workloads)
-            updater.scatter_update(edge_results)
+            with rec.span(
+                "component.iteration",
+                track="graphdyns.component",
+                iteration=iterations,
+                active=int(active.size),
+            ):
+                # --- Scatter: S1 read active vertex data, S2 dispatch,
+                # S3/S4 read+process edges, S5 reduce into VB. ---
+                records = make_active_records(prop, graph.offsets, active)
+                with rec.span("component.dispatch", track="graphdyns.component"):
+                    workloads = dispatcher.dispatch_scatter(records)
+                with rec.span("component.prefetch", track="graphdyns.component"):
+                    prefetcher.plan(records, weighted=spec.uses_weights)
+                    prefetcher.arrange_epb(workloads)
+                with rec.span("component.process", track="graphdyns.component"):
+                    edge_results = processor.process_scatter(graph, workloads)
+                with rec.span("component.reduce", track="graphdyns.component"):
+                    updater.scatter_update(edge_results)
 
-            # --- Apply: S1/S2 vertex workloads, S3/S4 apply, S5 update
-            # and activate. ---
-            t_prop = updater.t_prop_array()
-            vertex_workloads = dispatcher.dispatch_apply(num_vertices)
-            apply_results = processor.process_apply(
-                vertex_workloads, prop, t_prop, c_prop
-            )
-            old_prop = prop.copy()
-            activated = updater.apply_update(apply_results, prop)
-            updater.reset_for_next_iteration()
+                # --- Apply: S1/S2 vertex workloads, S3/S4 apply, S5 update
+                # and activate. ---
+                with rec.span("component.apply", track="graphdyns.component"):
+                    t_prop = updater.t_prop_array()
+                    vertex_workloads = dispatcher.dispatch_apply(num_vertices)
+                    apply_results = processor.process_apply(
+                        vertex_workloads, prop, t_prop, c_prop
+                    )
+                    old_prop = prop.copy()
+                    activated = updater.apply_update(apply_results, prop)
+                updater.reset_for_next_iteration()
+                if rec.enabled:
+                    rec.counter("component.iterations").add()
+                    rec.counter("component.workloads").add(len(workloads))
+                    rec.counter("component.edge_results").add(len(edge_results))
+                    rec.counter("component.activated").add(int(activated.size))
+                # The micro-model carries no cycle estimate; tick once so
+                # component spans still order on the shared timeline.
+                rec.clock.tick()
             iterations += 1
 
             if spec.resets_tprop_each_iteration:

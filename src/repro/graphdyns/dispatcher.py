@@ -15,6 +15,7 @@ from typing import List, Sequence
 
 import numpy as np
 
+from ..obs import get_recorder
 from ..vcpm.optimized import ActiveVertex
 from .config import DEFAULT_CONFIG, GraphDynSConfig
 
@@ -90,6 +91,10 @@ class Dispatcher:
                     )
                     offset += size
                     self.scheduling_ops += 1
+        rec = get_recorder()
+        if rec.enabled:
+            rec.counter("graphdyns.dispatcher.records").add(len(records))
+            rec.counter("graphdyns.dispatcher.workloads").add(len(workloads))
         return workloads
 
     def dispatch_apply(self, num_vertices: int) -> List[VertexWorkload]:

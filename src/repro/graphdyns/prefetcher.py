@@ -22,6 +22,7 @@ from typing import List, Sequence
 import numpy as np
 
 from ..core.prefetch import PrefetchPlan, plan_exact_prefetch
+from ..obs import get_recorder
 from ..vcpm.optimized import ActiveVertex
 from .config import DEFAULT_CONFIG, GraphDynSConfig
 from .dispatcher import EdgeWorkload
@@ -57,6 +58,12 @@ class Prefetcher:
         plan = plan_exact_prefetch(offsets, counts, weighted)
         self.edge_requests += plan.coalesced_runs
         self.edges_fetched += int(counts.sum())
+        rec = get_recorder()
+        if rec.enabled:
+            rec.counter("graphdyns.prefetcher.requests").add(
+                plan.coalesced_runs
+            )
+            rec.counter("graphdyns.prefetcher.edges").add(int(counts.sum()))
         return plan
 
     def arrange_epb(self, workloads: Sequence[EdgeWorkload]) -> EPBLayout:

@@ -43,6 +43,7 @@ from ..memory.hbm import HBMModel
 from ..memory.request import AccessPattern, Region
 from ..memory.traffic import TrafficLedger
 from ..metrics.counters import PhaseBreakdown, RunReport
+from ..obs import get_recorder
 from ..vcpm.engine import IterationData
 from ..vcpm.spec import AlgorithmSpec
 from .config import DEFAULT_CONFIG, GraphDynSConfig
@@ -74,7 +75,7 @@ class GraphDynSTimingModel:
         self.graph = graph
         self.spec = spec
         self.config = config
-        self.hbm = HBMModel(config.hbm)
+        self.hbm = HBMModel(config.hbm, owner="GraphDynS")
         self.traffic = TrafficLedger()
         self.crossbar = Crossbar(config.num_ues, config.total_lanes)
         self.slice_plan = plan_slices(
@@ -92,8 +93,76 @@ class GraphDynSTimingModel:
     # Per-iteration hook
     # ------------------------------------------------------------------
     def on_iteration(self, data: IterationData) -> None:
-        scatter = self._scatter_cycles(data)
-        apply_cycles = self._apply_cycles(data)
+        rec = get_recorder()
+        with rec.span(
+            "graphdyns.iteration", track="GraphDynS", iteration=data.iteration
+        ):
+            sched_before = self.scheduling_ops
+            updates_before = self.update_operations
+            scatter = self._scatter_cycles(data)
+            if rec.enabled:
+                # The three scatter sub-datapaths run concurrently
+                # (the phase is their max), so they live on their own
+                # tracks and overlap the covering "scatter" span.
+                t0 = rec.clock.now
+                rec.complete_span(
+                    "scatter",
+                    begin=t0,
+                    duration=scatter.scatter_cycles,
+                    track="GraphDynS",
+                    edges=data.num_edges,
+                )
+                rec.complete_span(
+                    "scatter.dispatch",
+                    begin=t0,
+                    duration=scatter.scatter_compute_cycles,
+                    track="GraphDynS.compute",
+                )
+                rec.complete_span(
+                    "scatter.prefetch",
+                    begin=t0,
+                    duration=scatter.scatter_memory_cycles,
+                    track="GraphDynS.memory",
+                )
+                rec.complete_span(
+                    "scatter.reduce",
+                    begin=t0,
+                    duration=scatter.scatter_update_cycles,
+                    track="GraphDynS.update",
+                )
+                if scatter.scatter_stall_cycles:
+                    rec.complete_span(
+                        "scatter.raw_stall",
+                        begin=t0
+                        + scatter.scatter_update_cycles
+                        - scatter.scatter_stall_cycles,
+                        duration=scatter.scatter_stall_cycles,
+                        track="GraphDynS.update",
+                    )
+            rec.clock.advance(scatter.scatter_cycles)
+            apply_cycles = self._apply_cycles(data)
+            if rec.enabled:
+                rec.complete_span(
+                    "apply",
+                    begin=rec.clock.now,
+                    duration=apply_cycles,
+                    track="GraphDynS",
+                    updates=self.update_operations - updates_before,
+                )
+                rec.counter("graphdyns.edges").add(data.num_edges)
+                rec.counter("graphdyns.scheduling_ops").add(
+                    self.scheduling_ops - sched_before
+                )
+                rec.counter("graphdyns.update_operations").add(
+                    self.update_operations - updates_before
+                )
+                rec.counter("graphdyns.stall_cycles").add(
+                    scatter.scatter_stall_cycles
+                )
+                rec.histogram("graphdyns.active_degree").observe_many(
+                    data.active_degrees
+                )
+            rec.clock.advance(apply_cycles)
         phase = dataclasses.replace(scatter, apply_cycles=apply_cycles)
         self.phases.append(phase)
         self.total_cycles += phase.total_cycles

@@ -19,6 +19,7 @@ import numpy as np
 from ..core.coalesce import ActivationCoalescer
 from ..core.reduce_pipeline import ZeroStallReducePipeline
 from ..core.update_bitmap import ReadyToUpdateBitmap
+from ..obs import get_recorder
 from ..vcpm.spec import AlgorithmSpec
 from .config import DEFAULT_CONFIG, GraphDynSConfig
 from .processor import EdgeResult
@@ -108,6 +109,12 @@ class Updater:
         modified_ids = np.asarray(sorted(set(modified)), dtype=np.int64)
         if modified_ids.size:
             self.bitmap.mark(modified_ids)
+        rec = get_recorder()
+        if rec.enabled:
+            rec.counter("graphdyns.updater.results").add(len(results))
+            rec.counter("graphdyns.updater.modified").add(
+                int(modified_ids.size)
+            )
         return modified_ids
 
     def t_prop_array(self) -> np.ndarray:
@@ -137,6 +144,9 @@ class Updater:
                 activated.append(vid)
         for ue in self.ues:
             ue.coalescer.flush()
+        rec = get_recorder()
+        if rec.enabled:
+            rec.counter("graphdyns.updater.activations").add(len(activated))
         return np.asarray(activated, dtype=np.int64)
 
     def reset_for_next_iteration(self) -> None:

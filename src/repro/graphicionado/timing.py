@@ -30,6 +30,7 @@ from ..memory.hbm import HBMModel
 from ..memory.request import AccessPattern, Region
 from ..memory.traffic import TrafficLedger
 from ..metrics.counters import PhaseBreakdown, RunReport
+from ..obs import get_recorder
 from ..vcpm.engine import IterationData
 from ..vcpm.spec import AlgorithmSpec
 from .config import GRAPHICIONADO_CONFIG, GraphicionadoConfig
@@ -49,7 +50,7 @@ class GraphicionadoTimingModel:
         self.graph = graph
         self.spec = spec
         self.config = config
-        self.hbm = HBMModel(config.hbm)
+        self.hbm = HBMModel(config.hbm, owner="Graphicionado")
         self.traffic = TrafficLedger()
         # Destination-side: one reduce engine per stream, hash by dst.
         self.crossbar = Crossbar(config.num_streams, config.num_streams)
@@ -65,8 +66,54 @@ class GraphicionadoTimingModel:
         self.stall_cycles = 0.0
 
     def on_iteration(self, data: IterationData) -> None:
-        scatter = self._scatter_cycles(data)
-        apply_cycles = self._apply_cycles(data)
+        rec = get_recorder()
+        with rec.span(
+            "graphicionado.iteration",
+            track="Graphicionado",
+            iteration=data.iteration,
+        ):
+            scatter = self._scatter_cycles(data)
+            if rec.enabled:
+                t0 = rec.clock.now
+                rec.complete_span(
+                    "scatter",
+                    begin=t0,
+                    duration=scatter.scatter_cycles,
+                    track="Graphicionado",
+                    edges=data.num_edges,
+                )
+                rec.complete_span(
+                    "scatter.dispatch",
+                    begin=t0,
+                    duration=scatter.scatter_compute_cycles,
+                    track="Graphicionado.compute",
+                )
+                rec.complete_span(
+                    "scatter.prefetch",
+                    begin=t0,
+                    duration=scatter.scatter_memory_cycles,
+                    track="Graphicionado.memory",
+                )
+                rec.complete_span(
+                    "scatter.reduce",
+                    begin=t0,
+                    duration=scatter.scatter_update_cycles,
+                    track="Graphicionado.update",
+                )
+            rec.clock.advance(scatter.scatter_cycles)
+            apply_cycles = self._apply_cycles(data)
+            if rec.enabled:
+                rec.complete_span(
+                    "apply",
+                    begin=rec.clock.now,
+                    duration=apply_cycles,
+                    track="Graphicionado",
+                )
+                rec.counter("graphicionado.edges").add(data.num_edges)
+                rec.counter("graphicionado.stall_cycles").add(
+                    scatter.scatter_stall_cycles
+                )
+            rec.clock.advance(apply_cycles)
         phase = dataclasses.replace(scatter, apply_cycles=apply_cycles)
         self.phases.append(phase)
         self.total_cycles += phase.total_cycles

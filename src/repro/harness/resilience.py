@@ -55,6 +55,7 @@ from typing import (
     TypeVar,
 )
 
+from ..obs import get_recorder
 from ..vcpm.algorithms import algorithm_names
 from .faults import FaultError, FaultInjector
 from .service import (
@@ -387,6 +388,16 @@ class ResilientRunService(RunService):
                     ) from exc
                 with self._lock:
                     self.stats.retries += 1
+                rec = get_recorder()
+                if rec.enabled:
+                    rec.counter("resilience.retries").add()
+                    rec.event(
+                        "resilience.retry",
+                        track="service",
+                        cell=token,
+                        attempt=attempt,
+                        error=type(exc).__name__,
+                    )
                 self._sleep(self.policy.delay(attempt, token))
 
     def _attempt_cell(self, request: RunRequest, attempt: int) -> CellResult:
@@ -402,6 +413,15 @@ class ResilientRunService(RunService):
                 future.cancel()
                 with self._lock:
                     self.stats.timeouts += 1
+                rec = get_recorder()
+                if rec.enabled:
+                    rec.counter("resilience.timeouts").add()
+                    rec.event(
+                        "resilience.timeout",
+                        track="service",
+                        cell=f"{request.algorithm}/{request.graph_key}",
+                        attempt=attempt,
+                    )
                 raise CellTimeoutError(
                     f"cell ({request.algorithm}, {request.graph_key}) "
                     f"attempt {attempt} exceeded {self.policy.timeout}s; "
@@ -472,6 +492,15 @@ class ResilientRunService(RunService):
                 with self._lock:
                     self.stats.degradations += 1
                 remaining = failure.remaining
+                rec = get_recorder()
+                if rec.enabled:
+                    rec.counter("resilience.degradations").add()
+                    rec.event(
+                        "resilience.degradation",
+                        track="service",
+                        tier=tier,
+                        remaining=len(remaining),
+                    )
                 warnings.warn(
                     f"executor tier {tier!r} broke ({failure.cause!r}); "
                     f"degrading {len(remaining)} unfinished cells to the "

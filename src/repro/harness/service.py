@@ -66,6 +66,7 @@ from ..metrics.serialize import (
     report_from_dict,
     report_to_dict,
 )
+from ..obs import get_recorder
 from ..vcpm.algorithms import algorithm_names, get_algorithm
 from ..vcpm.engine import IterationTrace, VCPMResult, run_vcpm
 
@@ -436,6 +437,15 @@ class RunService:
         except OSError as exc:
             with self._lock:
                 self.stats.store_failures += 1
+            rec = get_recorder()
+            if rec.enabled:
+                rec.counter("service.store_failures").add()
+                rec.event(
+                    "service.store_failure",
+                    track="service",
+                    algorithm=request.algorithm,
+                    graph=request.graph_key,
+                )
             warnings.warn(
                 f"failed to persist cache entry {path}: {exc!r}; "
                 "the result is kept in memory but will be recomputed "
@@ -446,6 +456,7 @@ class RunService:
         else:
             with self._lock:
                 self.stats.stores += 1
+            get_recorder().counter("service.stores").add()
 
     def _write_envelope(self, path: str, envelope: Dict[str, object]) -> None:
         """Atomically write one cache envelope; raises ``OSError``.
@@ -473,23 +484,41 @@ class RunService:
     # ------------------------------------------------------------------
     def cell(self, algorithm: str, graph_key: str) -> CellResult:
         """Run (or recall) one cell of the evaluation matrix."""
+        rec = get_recorder()
         key = (algorithm.upper(), graph_key)
         with self._lock:
             cached = self._cells.get(key)
             if cached is not None:
                 self.stats.memory_hits += 1
-                return cached
+        if cached is not None:
+            rec.counter("service.memory_hits").add()
+            return cached
 
         request = self.request_for(algorithm, graph_key)
         path = self._cache_path(request) if self.persistent else None
         if path is not None:
             cell = self._load_cached(path, request)
             if cell is not None:
+                if rec.enabled:
+                    rec.counter("service.cache_hits").add()
+                    rec.event(
+                        "service.cache_hit",
+                        track="service",
+                        algorithm=request.algorithm,
+                        graph=graph_key,
+                    )
                 with self._lock:
                     self.stats.hits += 1
                     return self._cells.setdefault(key, cell)
 
-        cell = self._run_cell(request)
+        with rec.span(
+            "service.cell",
+            track="service",
+            algorithm=request.algorithm,
+            graph=graph_key,
+        ):
+            cell = self._run_cell(request)
+        rec.counter("service.misses").add()
         if path is not None:
             self._store_cached(path, request, cell)
         with self._lock:

@@ -25,7 +25,12 @@ from typing import Dict, Iterable
 
 import numpy as np
 
+from ..obs import get_recorder
 from .request import AccessPattern, Region
+
+#: Fixed bucket edges for the run-length histogram (bytes per contiguous
+#: run), 8 B .. 8 MiB in powers of two -- reproducible across runs.
+_RUN_BYTES_EDGES = tuple(float(1 << k) for k in range(3, 24))
 
 __all__ = ["HBMConfig", "ServiceResult", "HBMModel", "HBM1_512GBS", "HBM2_900GBS"]
 
@@ -93,8 +98,11 @@ class ServiceResult:
 class HBMModel:
     """Stateful HBM instance accumulating traffic and energy."""
 
-    def __init__(self, config: HBMConfig) -> None:
+    def __init__(self, config: HBMConfig, owner: str = "") -> None:
         self.config = config
+        #: Instrumentation label naming the system this memory belongs to
+        #: (observability only -- never part of a config digest).
+        self.owner = owner
         self.bytes_by_region: Dict[Region, int] = {r: 0 for r in Region}
         self.write_bytes = 0
         self.read_bytes = 0
@@ -168,11 +176,53 @@ class HBMModel:
         ideal = self.ideal_cycles(total_bytes)
         self.total_cycles += cycles
         self.total_ideal_cycles += ideal
+        rec = get_recorder()
+        if rec.enabled and count:
+            self._record_service(rec, count, total_arr, run_arr, by_region)
         return ServiceResult(
             cycles=cycles,
             total_bytes=total_bytes,
             ideal_cycles=ideal,
             bytes_by_region=by_region,
+        )
+
+    def _record_service(
+        self,
+        rec,
+        count: int,
+        total_arr: np.ndarray,
+        run_arr: np.ndarray,
+        by_region: Dict[Region, int],
+    ) -> None:
+        """Instrument one serviced batch (recorder enabled only).
+
+        Row hits/misses follow the same closed form the timing kernel
+        uses: each run pays one activate per DRAM row it touches; the
+        remaining bursts are row-buffer hits.  Only :meth:`service` is
+        instrumented -- :meth:`service_scalar` stays a bare reference
+        path for the equivalence tests.
+        """
+        cfg = self.config
+        prefix = f"hbm.{self.owner}" if self.owner else "hbm"
+        run = np.maximum(run_arr, 1.0)
+        padded_run = np.maximum(run, float(cfg.min_access_bytes))
+        num_runs = np.maximum(1.0, total_arr / run)
+        rows_per_run = np.maximum(1.0, padded_run / cfg.row_bytes)
+        row_misses = float((num_runs * rows_per_run).sum())
+        bursts = float(
+            (num_runs * padded_run).sum() / float(cfg.min_access_bytes)
+        )
+        rec.counter(f"{prefix}.requests").add(count)
+        rec.counter(f"{prefix}.bytes").add(float(total_arr.sum()))
+        rec.counter(f"{prefix}.row_misses").add(row_misses)
+        rec.counter(f"{prefix}.row_hits").add(max(bursts - row_misses, 0.0))
+        for region, nbytes in by_region.items():
+            rec.counter(f"{prefix}.bytes.{region.value}").add(nbytes)
+        rec.histogram(
+            f"{prefix}.run_bytes", edges=_RUN_BYTES_EDGES
+        ).observe_many(run_arr)
+        rec.gauge(f"{prefix}.bandwidth_utilization").set(
+            self.bandwidth_utilization
         )
 
     def service_scalar(self, patterns: Iterable[AccessPattern]) -> ServiceResult:

@@ -1,0 +1,69 @@
+"""Unified observability layer: spans, instruments, exporters.
+
+The paper's whole argument is a set of breakdowns -- where cycles, bytes
+and energy go, per pipeline stage (Figs. 8-14).  This package turns
+every such breakdown into a query over one event stream:
+
+* a hierarchical **span tracer** stamped by a deterministic clock keyed
+  to *simulated cycles* (never wall time),
+* a **metric-instrument registry** (counters, gauges, fixed-bucket
+  histograms) whose serialized form is reproducible byte for byte,
+* **exporters**: JSONL, Chrome ``trace_event`` (``chrome://tracing``),
+  and a flat stats table.
+
+Everything is behind a :class:`NullRecorder` default, so instrumented
+hot paths cost a few attribute lookups per phase when tracing is off and
+all results stay bit-identical.  Enable per block::
+
+    from repro.obs import TraceRecorder, use_recorder
+    from repro.obs.export import write_chrome_trace
+
+    recorder = TraceRecorder()
+    with use_recorder(recorder):
+        GraphDynS().run(graph, get_algorithm("BFS"), source=0)
+    write_chrome_trace(recorder, "trace.json")
+
+or from the CLI: ``repro trace bfs RM16 --out trace.json``.
+"""
+
+from .clock import DeterministicClock, NullClock
+from .export import chrome_trace, stats_rows, to_jsonl, write_chrome_trace
+from .instruments import (
+    DEFAULT_BUCKET_EDGES,
+    Counter,
+    Gauge,
+    Histogram,
+    InstrumentRegistry,
+)
+from .recorder import (
+    NULL_RECORDER,
+    NullRecorder,
+    PointEvent,
+    Recorder,
+    SpanRecord,
+    TraceRecorder,
+    get_recorder,
+    use_recorder,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKET_EDGES",
+    "DeterministicClock",
+    "Gauge",
+    "Histogram",
+    "InstrumentRegistry",
+    "NULL_RECORDER",
+    "NullClock",
+    "NullRecorder",
+    "PointEvent",
+    "Recorder",
+    "SpanRecord",
+    "TraceRecorder",
+    "chrome_trace",
+    "get_recorder",
+    "stats_rows",
+    "to_jsonl",
+    "use_recorder",
+    "write_chrome_trace",
+]

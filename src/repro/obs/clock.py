@@ -1,0 +1,60 @@
+"""Deterministic clocks for the observability layer.
+
+The tracer never reads wall time: span begin/end stamps come from a
+:class:`DeterministicClock` that only moves when instrumented code tells
+it to -- the timing models advance it by the *modeled* cycles of each
+phase, so span durations are simulated cycles and two runs of the same
+workload produce byte-identical traces.  :class:`NullClock` is the
+zero-cost stand-in behind :class:`~repro.obs.recorder.NullRecorder`.
+"""
+
+from __future__ import annotations
+
+__all__ = ["DeterministicClock", "NullClock"]
+
+
+class DeterministicClock:
+    """A clock that advances only by explicit, non-negative deltas."""
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time (cycles since the trace began)."""
+        return self._now
+
+    def advance(self, delta: float) -> float:
+        """Move time forward by ``delta`` cycles; returns the new time."""
+        delta = float(delta)
+        if delta < 0:
+            raise ValueError(f"clock cannot run backwards (delta={delta})")
+        self._now += delta
+        return self._now
+
+    def tick(self, delta: float = 1.0) -> float:
+        """Advance by one (or ``delta``) ordering step.
+
+        Used by layers with no cycle model of their own (the component
+        micro-models, the run service) so their spans still order
+        deterministically on the shared timeline.
+        """
+        return self.advance(delta)
+
+
+class NullClock:
+    """Time-less clock behind the no-op recorder: never moves."""
+
+    __slots__ = ()
+
+    @property
+    def now(self) -> float:
+        return 0.0
+
+    def advance(self, delta: float) -> float:  # noqa: ARG002 - no-op
+        return 0.0
+
+    def tick(self, delta: float = 1.0) -> float:  # noqa: ARG002 - no-op
+        return 0.0

@@ -1,0 +1,182 @@
+"""Metric instruments: counters, gauges, histograms with fixed buckets.
+
+Three instrument kinds, deliberately narrow so their output is fully
+reproducible:
+
+* :class:`Counter` -- monotonically non-decreasing accumulator (bytes
+  moved, edges processed, cache hits).  Negative increments are an error.
+* :class:`Gauge` -- last-write-wins sample (current utilization).
+* :class:`Histogram` -- observation counts over *fixed* bucket edges
+  chosen at creation time, never rebalanced, so two runs of the same
+  workload serialize to identical bucket vectors.
+
+Instruments are owned by an :class:`InstrumentRegistry` (one per
+recorder) and addressed by name; requesting the same name twice returns
+the same instrument.
+"""
+
+from __future__ import annotations
+
+import bisect
+import dataclasses
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKET_EDGES",
+    "Gauge",
+    "Histogram",
+    "InstrumentRegistry",
+]
+
+#: Power-of-two edges covering 1 .. 1Mi; the default for size-like
+#: distributions (frontier widths, degrees, burst bytes).
+DEFAULT_BUCKET_EDGES: Tuple[float, ...] = tuple(
+    float(1 << k) for k in range(0, 21)
+)
+
+
+@dataclasses.dataclass
+class Counter:
+    """Monotonic accumulator."""
+
+    name: str
+    value: float = 0.0
+
+    def add(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(
+                f"counter {self.name!r} cannot decrease (amount={amount})"
+            )
+        self.value += amount
+
+
+@dataclasses.dataclass
+class Gauge:
+    """Last-write-wins sample."""
+
+    name: str
+    value: float = 0.0
+    updates: int = 0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+        self.updates += 1
+
+
+class Histogram:
+    """Observation counts over fixed, strictly increasing bucket edges.
+
+    ``edges = (e0, .., eN)`` defines ``N + 2`` buckets:
+    ``(-inf, e0], (e0, e1], .., (eN, +inf)``.  An observation lands in
+    bucket ``bisect_left(edges, value)``... more precisely the first
+    bucket whose upper edge is >= the value, which keeps integer-valued
+    observations on power-of-two edges in the intuitive bucket.
+    """
+
+    __slots__ = ("name", "edges", "counts", "count", "total")
+
+    def __init__(
+        self, name: str, edges: Sequence[float] = DEFAULT_BUCKET_EDGES
+    ) -> None:
+        edges = tuple(float(e) for e in edges)
+        if not edges:
+            raise ValueError(f"histogram {name!r} needs >= 1 edge")
+        if any(b <= a for a, b in zip(edges, edges[1:])):
+            raise ValueError(
+                f"histogram {name!r} edges must be strictly increasing: {edges}"
+            )
+        self.name = name
+        self.edges = edges
+        self.counts: List[int] = [0] * (len(edges) + 1)
+        self.count = 0
+        self.total = 0.0
+
+    def bucket_index(self, value: float) -> int:
+        """Index of the bucket ``value`` falls into."""
+        return bisect.bisect_left(self.edges, float(value))
+
+    def observe(self, value: float) -> None:
+        self.counts[self.bucket_index(value)] += 1
+        self.count += 1
+        self.total += float(value)
+
+    def observe_many(self, values: Iterable[float]) -> None:
+        """Bulk observation; vectorized for numpy arrays."""
+        try:
+            import numpy as np
+
+            arr = np.asarray(values, dtype=np.float64)
+        except (TypeError, ValueError):
+            for value in values:
+                self.observe(value)
+            return
+        if arr.size == 0:
+            return
+        idx = np.searchsorted(np.asarray(self.edges), arr, side="left")
+        for bucket, n in zip(*np.unique(idx, return_counts=True)):
+            self.counts[int(bucket)] += int(n)
+        self.count += int(arr.size)
+        self.total += float(arr.sum())
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class InstrumentRegistry:
+    """Named instruments of one recorder; create-on-first-use."""
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, Counter] = {}
+        self.gauges: Dict[str, Gauge] = {}
+        self.histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        inst = self.counters.get(name)
+        if inst is None:
+            inst = self.counters[name] = Counter(name)
+        return inst
+
+    def gauge(self, name: str) -> Gauge:
+        inst = self.gauges.get(name)
+        if inst is None:
+            inst = self.gauges[name] = Gauge(name)
+        return inst
+
+    def histogram(
+        self, name: str, edges: Optional[Sequence[float]] = None
+    ) -> Histogram:
+        inst = self.histograms.get(name)
+        if inst is None:
+            inst = self.histograms[name] = Histogram(
+                name, edges if edges is not None else DEFAULT_BUCKET_EDGES
+            )
+        elif edges is not None and tuple(float(e) for e in edges) != inst.edges:
+            raise ValueError(
+                f"histogram {name!r} already registered with different edges"
+            )
+        return inst
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """Deterministic (sorted-name) dump of every instrument."""
+        out: Dict[str, Dict[str, object]] = {}
+        for name in sorted(self.counters):
+            out[name] = {"kind": "counter", "value": self.counters[name].value}
+        for name in sorted(self.gauges):
+            gauge = self.gauges[name]
+            out[name] = {
+                "kind": "gauge",
+                "value": gauge.value,
+                "updates": gauge.updates,
+            }
+        for name in sorted(self.histograms):
+            hist = self.histograms[name]
+            out[name] = {
+                "kind": "histogram",
+                "edges": list(hist.edges),
+                "counts": list(hist.counts),
+                "count": hist.count,
+                "total": hist.total,
+            }
+        return out

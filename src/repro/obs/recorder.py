@@ -1,0 +1,354 @@
+"""Span tracer: the recorder protocol, the no-op default, and the tracer.
+
+Three moving parts:
+
+* :class:`NullRecorder` -- the process-wide default.  Every method is a
+  no-op returning a shared singleton, so instrumented hot paths cost a
+  couple of attribute lookups per *phase* (never per edge) when tracing
+  is off, and all existing results stay bit-identical.
+* :class:`TraceRecorder` -- the real thing: a hierarchical span tree
+  stamped by a :class:`~repro.obs.clock.DeterministicClock`, a metric
+  :class:`~repro.obs.instruments.InstrumentRegistry`, and a point-event
+  log.  Span nesting is per-thread (a thread-local open-span stack);
+  shared state is lock-protected so a ``jobs > 1`` matrix can trace,
+  though the single timeline is only *meaningful* for serial runs.
+* the **ambient recorder stack** -- instrumented code asks
+  :func:`get_recorder` for the current recorder; :func:`use_recorder`
+  installs one for the duration of a ``with`` block.
+
+Two ways to record a span:
+
+* ``with rec.span("scatter", track="GraphDynS"):`` -- begin/end stamped
+  from the clock at enter/exit; whatever the body advances the clock by
+  becomes the duration.  Nesting is guaranteed by construction.
+* ``rec.complete_span("scatter.prefetch", begin=t0, duration=c)`` --
+  an explicit-interval span for quantities known only after the fact
+  (the timing models compute a phase's cycles, then stamp it).  It is
+  attached as a child of the currently open span.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+import threading
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+from .clock import DeterministicClock, NullClock
+from .instruments import Counter, Gauge, Histogram, InstrumentRegistry
+
+__all__ = [
+    "NULL_RECORDER",
+    "NullRecorder",
+    "PointEvent",
+    "Recorder",
+    "SpanRecord",
+    "TraceRecorder",
+    "get_recorder",
+    "use_recorder",
+]
+
+
+@dataclasses.dataclass
+class SpanRecord:
+    """One node of the span tree."""
+
+    span_id: int
+    parent_id: Optional[int]
+    name: str
+    track: str
+    begin: float
+    end: Optional[float] = None
+    attrs: Dict[str, object] = dataclasses.field(default_factory=dict)
+    #: Exact measured duration, set when the span was recorded via
+    #: ``complete_span(duration=...)``.  ``end - begin`` re-rounds at the
+    #: clock's magnitude; keeping the original value lets span totals
+    #: reconcile float-for-float with the run report's phase sums.
+    exact_duration: Optional[float] = None
+
+    @property
+    def duration(self) -> float:
+        if self.exact_duration is not None:
+            return self.exact_duration
+        return (self.end if self.end is not None else self.begin) - self.begin
+
+    @property
+    def closed(self) -> bool:
+        return self.end is not None
+
+
+@dataclasses.dataclass(frozen=True)
+class PointEvent:
+    """An instant (zero-duration) annotation on the timeline."""
+
+    name: str
+    at: float
+    track: str
+    attrs: Dict[str, object] = dataclasses.field(default_factory=dict)
+
+
+class _SpanHandle:
+    """Context manager binding one :class:`SpanRecord` to the tracer."""
+
+    __slots__ = ("_recorder", "record")
+
+    def __init__(self, recorder: "TraceRecorder", record: SpanRecord) -> None:
+        self._recorder = recorder
+        self.record = record
+
+    def annotate(self, **attrs: object) -> "_SpanHandle":
+        self.record.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "_SpanHandle":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._recorder._close_span(self.record)
+
+
+class _NullSpan:
+    """Shared no-op stand-in for :class:`_SpanHandle`."""
+
+    __slots__ = ()
+
+    def annotate(self, **attrs: object) -> "_NullSpan":  # noqa: ARG002
+        return self
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None
+
+
+class _NullInstrument:
+    """Shared no-op stand-in for every instrument kind."""
+
+    __slots__ = ()
+    value = 0.0
+    count = 0
+
+    def add(self, amount: float = 1.0) -> None:  # noqa: ARG002
+        return None
+
+    def set(self, value: float) -> None:  # noqa: ARG002
+        return None
+
+    def observe(self, value: float) -> None:  # noqa: ARG002
+        return None
+
+    def observe_many(self, values: object) -> None:  # noqa: ARG002
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullRecorder:
+    """The disabled recorder: every operation is a cheap no-op."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        self.clock = NullClock()
+
+    def span(self, name: str, track: str = "main", **attrs: object) -> _NullSpan:  # noqa: ARG002
+        return _NULL_SPAN
+
+    def complete_span(self, *args: object, **kwargs: object) -> None:  # noqa: ARG002
+        return None
+
+    def event(self, name: str, track: str = "main", **attrs: object) -> None:  # noqa: ARG002
+        return None
+
+    def counter(self, name: str) -> _NullInstrument:  # noqa: ARG002
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str) -> _NullInstrument:  # noqa: ARG002
+        return _NULL_INSTRUMENT
+
+    def histogram(
+        self, name: str, edges: Optional[Sequence[float]] = None  # noqa: ARG002
+    ) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+
+class TraceRecorder:
+    """Collects spans, point events, and instruments for one session."""
+
+    enabled = True
+
+    def __init__(self, clock: Optional[DeterministicClock] = None) -> None:
+        self.clock = clock if clock is not None else DeterministicClock()
+        self.instruments = InstrumentRegistry()
+        self.spans: List[SpanRecord] = []
+        self.events: List[PointEvent] = []
+        self._lock = threading.RLock()
+        self._tls = threading.local()
+        self._next_id = 0
+
+    # ------------------------------------------------------------------
+    # Span plumbing
+    # ------------------------------------------------------------------
+    def _stack(self) -> List[SpanRecord]:
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = self._tls.stack = []
+        return stack
+
+    def _new_id(self) -> int:
+        self._next_id += 1
+        return self._next_id
+
+    def span(
+        self, name: str, track: str = "main", **attrs: object
+    ) -> _SpanHandle:
+        """Open a span; close it by exiting the returned context manager."""
+        stack = self._stack()
+        parent = stack[-1] if stack else None
+        with self._lock:
+            record = SpanRecord(
+                span_id=self._new_id(),
+                parent_id=parent.span_id if parent else None,
+                name=name,
+                track=track,
+                begin=self.clock.now,
+                attrs=dict(attrs),
+            )
+            self.spans.append(record)
+        stack.append(record)
+        return _SpanHandle(self, record)
+
+    def _close_span(self, record: SpanRecord) -> None:
+        stack = self._stack()
+        if not stack or stack[-1] is not record:
+            raise RuntimeError(
+                f"span {record.name!r} closed out of order "
+                "(enter/exit must nest)"
+            )
+        stack.pop()
+        record.end = self.clock.now
+
+    def complete_span(
+        self,
+        name: str,
+        begin: float,
+        end: Optional[float] = None,
+        duration: Optional[float] = None,
+        track: Optional[str] = None,
+        **attrs: object,
+    ) -> SpanRecord:
+        """Record an already-measured interval as a child of the open span."""
+        if (end is None) == (duration is None):
+            raise ValueError("pass exactly one of end= or duration=")
+        if end is None:
+            if duration < 0:  # type: ignore[operator]
+                raise ValueError(f"span {name!r} has negative duration")
+            end = begin + float(duration)  # type: ignore[arg-type]
+        elif end < begin:
+            raise ValueError(f"span {name!r} ends before it begins")
+        stack = self._stack()
+        parent = stack[-1] if stack else None
+        with self._lock:
+            record = SpanRecord(
+                span_id=self._new_id(),
+                parent_id=parent.span_id if parent else None,
+                name=name,
+                track=track if track is not None
+                else (parent.track if parent else "main"),
+                begin=float(begin),
+                end=float(end),
+                attrs=dict(attrs),
+                exact_duration=(
+                    float(duration) if duration is not None else None
+                ),
+            )
+            self.spans.append(record)
+        return record
+
+    def event(self, name: str, track: str = "main", **attrs: object) -> None:
+        with self._lock:
+            self.events.append(
+                PointEvent(name=name, at=self.clock.now, track=track,
+                           attrs=dict(attrs))
+            )
+
+    def finish(self) -> None:
+        """Close any spans left open (this thread) at the current time."""
+        stack = self._stack()
+        while stack:
+            stack[-1].end = self.clock.now
+            stack.pop()
+
+    # ------------------------------------------------------------------
+    # Instruments
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            return self.instruments.counter(name)
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            return self.instruments.gauge(name)
+
+    def histogram(
+        self, name: str, edges: Optional[Sequence[float]] = None
+    ) -> Histogram:
+        with self._lock:
+            return self.instruments.histogram(name, edges)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def tracks(self) -> List[str]:
+        seen = {s.track for s in self.spans} | {e.track for e in self.events}
+        return sorted(seen)
+
+    def span_totals(
+        self, track: Optional[str] = None
+    ) -> Dict[str, Tuple[int, float]]:
+        """Span name -> (count, total duration), optionally one track only.
+
+        Durations are summed in recording order, so a stage's total here
+        is float-identical to the same sum taken over the run report's
+        per-iteration phase list.
+        """
+        totals: Dict[str, Tuple[int, float]] = {}
+        for span in self.spans:
+            if track is not None and span.track != track:
+                continue
+            count, total = totals.get(span.name, (0, 0.0))
+            totals[span.name] = (count + 1, total + span.duration)
+        return dict(sorted(totals.items()))
+
+    def children_of(self, span_id: Optional[int]) -> List[SpanRecord]:
+        return [s for s in self.spans if s.parent_id == span_id]
+
+
+Recorder = Union[NullRecorder, TraceRecorder]
+
+#: Process-wide default: observability off, zero overhead.
+NULL_RECORDER = NullRecorder()
+
+_ACTIVE: List[Recorder] = [NULL_RECORDER]
+
+
+def get_recorder() -> Recorder:
+    """The ambient recorder (the innermost :func:`use_recorder`)."""
+    return _ACTIVE[-1]
+
+
+@contextlib.contextmanager
+def use_recorder(recorder: Recorder) -> Iterator[Recorder]:
+    """Install ``recorder`` as the ambient recorder for this block.
+
+    The stack is process-global on purpose: worker threads spawned inside
+    the block observe the same recorder.
+    """
+    _ACTIVE.append(recorder)
+    try:
+        yield recorder
+    finally:
+        _ACTIVE.pop()

@@ -12,6 +12,7 @@ debugging the event-driven models::
 from __future__ import annotations
 
 import dataclasses
+import warnings
 from collections import defaultdict
 from typing import Dict, List, Optional, Tuple
 
@@ -39,8 +40,20 @@ class ActivityTrace:
     def record(
         self, cycle: int, unit: str, event: str, detail: str = ""
     ) -> None:
-        """Record one action (drops silently past ``max_events``)."""
+        """Record one action.
+
+        Past ``max_events`` the event is dropped and counted in
+        :attr:`dropped`; the first drop raises a :class:`ResourceWarning`
+        so a truncated trace can't be mistaken for a complete one.
+        """
         if len(self._events) >= self.max_events:
+            if self.dropped == 0:
+                warnings.warn(
+                    f"ActivityTrace full ({self.max_events} events); "
+                    "further events are dropped and counted in .dropped",
+                    ResourceWarning,
+                    stacklevel=2,
+                )
             self.dropped += 1
             return
         self._events.append(TraceEvent(cycle, unit, event, detail))
@@ -100,6 +113,8 @@ class ActivityTrace:
                 for c in range(first_cycle, last_cycle + 1)
             )
             lines.append(f"{unit.rjust(width)} {row}")
+        if self.dropped:
+            lines.append(f"(dropped {self.dropped} events past capacity)")
         return "\n".join(lines)
 
     def summary(self) -> Dict[str, Tuple[int, float]]:

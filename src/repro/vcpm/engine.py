@@ -30,6 +30,7 @@ from typing import List, Optional, Protocol, Sequence
 import numpy as np
 
 from ..graph.csr import CSRGraph
+from ..obs import get_recorder
 from .spec import AlgorithmSpec
 
 __all__ = [
@@ -211,44 +212,70 @@ def run_vcpm(
 
     traces: List[IterationTrace] = []
     converged = False
+    rec = get_recorder()
 
     for iteration in range(max_iterations):
         if active.size == 0:
             converged = True
             break
 
-        # ------------------------- Scatter phase -------------------------
-        edge_idx = gather_edge_indices(graph.offsets, active)
-        edge_dst = graph.edges[edge_idx]
-        edge_w = graph.weights[edge_idx].astype(np.float64)
-        degrees = graph.offsets[active + 1] - graph.offsets[active]
-        u_prop = np.repeat(prop[active], degrees)
-
-        results = spec.process_edge(u_prop, edge_w)
-        t_prop_before = t_prop.copy()
-        spec.reduce_op.ufunc.at(t_prop, edge_dst, results)
-        modified = np.flatnonzero(t_prop != t_prop_before)
-
-        # -------------------------- Apply phase --------------------------
-        apply_res = spec.apply(prop, t_prop, c_prop)
-        activated_mask = apply_res != prop
-        activated = np.flatnonzero(activated_mask)
-        old_prop = prop
-        prop = np.where(activated_mask, apply_res, prop)
-
-        data = IterationData(
+        with rec.span(
+            "vcpm.iteration",
+            track="vcpm",
+            algorithm=spec.name,
             iteration=iteration,
-            active_ids=active,
-            active_degrees=degrees,
-            active_offsets=graph.offsets[active],
-            edge_dst=edge_dst,
-            edge_weights=edge_w,
-            modified_ids=modified,
-            activated_ids=activated,
-            num_vertices=num_vertices,
-        )
-        for observer in observers:
-            observer.on_iteration(data)
+            active=int(active.size),
+        ) as iter_span:
+            # ----------------------- Scatter phase -----------------------
+            with rec.span("vcpm.scatter", track="vcpm"):
+                edge_idx = gather_edge_indices(graph.offsets, active)
+                edge_dst = graph.edges[edge_idx]
+                edge_w = graph.weights[edge_idx].astype(np.float64)
+                degrees = graph.offsets[active + 1] - graph.offsets[active]
+                u_prop = np.repeat(prop[active], degrees)
+
+                results = spec.process_edge(u_prop, edge_w)
+                t_prop_before = t_prop.copy()
+                spec.reduce_op.ufunc.at(t_prop, edge_dst, results)
+                modified = np.flatnonzero(t_prop != t_prop_before)
+
+            # ------------------------ Apply phase ------------------------
+            with rec.span("vcpm.apply", track="vcpm"):
+                apply_res = spec.apply(prop, t_prop, c_prop)
+                activated_mask = apply_res != prop
+                activated = np.flatnonzero(activated_mask)
+                old_prop = prop
+                prop = np.where(activated_mask, apply_res, prop)
+
+            data = IterationData(
+                iteration=iteration,
+                active_ids=active,
+                active_degrees=degrees,
+                active_offsets=graph.offsets[active],
+                edge_dst=edge_dst,
+                edge_weights=edge_w,
+                modified_ids=modified,
+                activated_ids=activated,
+                num_vertices=num_vertices,
+            )
+            # Timing observers advance the trace clock by their modeled
+            # cycles, which becomes this iteration span's duration.
+            with rec.span("vcpm.observe", track="vcpm"):
+                for observer in observers:
+                    observer.on_iteration(data)
+            if rec.enabled:
+                iter_span.annotate(
+                    edges=int(edge_dst.size),
+                    modified=int(modified.size),
+                    activated=int(activated.size),
+                )
+                rec.counter("vcpm.iterations").add()
+                rec.counter("vcpm.active_vertices").add(int(active.size))
+                rec.counter("vcpm.edges").add(int(edge_dst.size))
+                rec.counter("vcpm.modified").add(int(modified.size))
+                rec.counter("vcpm.activated").add(int(activated.size))
+                rec.histogram("vcpm.frontier_size").observe(int(active.size))
+                rec.histogram("vcpm.active_degree").observe_many(degrees)
         traces.append(
             IterationTrace(
                 iteration=iteration,

@@ -11,6 +11,21 @@ from repro.graph import (
 )
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-goldens",
+        action="store_true",
+        default=False,
+        help="rewrite tests/goldens/ from the current implementation "
+        "instead of comparing against it",
+    )
+
+
+@pytest.fixture
+def update_goldens(request) -> bool:
+    return request.config.getoption("--update-goldens")
+
+
 @pytest.fixture(scope="session")
 def tiny_graph() -> CSRGraph:
     """The 7-vertex example spirit of Fig. 1: small, weighted, irregular."""

@@ -1,0 +1,113 @@
+"""Golden-master regression suite.
+
+The canonical-report JSON of a small evaluation matrix and the exporter
+output of a hand-built recorder are pinned byte-for-byte under
+``tests/goldens/``.  Any change to the timing models, serialization, or
+exporters that perturbs results shows up as a byte diff here.
+
+Refresh intentionally-changed goldens with::
+
+    pytest tests/test_goldens.py --update-goldens
+
+On mismatch the freshly computed payload is written to
+``tests/goldens/_diff/`` so CI can upload it as an artifact and a human
+can diff the two files directly.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.harness.service import RunService, canonical_reports_json
+from repro.obs import TraceRecorder, use_recorder
+from repro.obs.export import chrome_trace, to_jsonl
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "goldens"
+DIFF_DIR = GOLDEN_DIR / "_diff"
+
+#: The pinned sub-matrix: one source-based cheap cell, one weighted, one
+#: accumulating, on the smallest RMAT proxy and the smallest real proxy.
+ALGOS = ["BFS", "SSSP", "PR"]
+GRAPHS = ["RM22", "FR"]
+
+
+def _check_or_update(name: str, payload: str, update: bool) -> None:
+    """Compare ``payload`` byte-for-byte against the named golden."""
+    golden = GOLDEN_DIR / name
+    if update:
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        golden.write_text(payload)
+        return
+    if not golden.exists():
+        pytest.fail(
+            f"golden {golden} missing; generate it with "
+            "`pytest tests/test_goldens.py --update-goldens`"
+        )
+    expected = golden.read_text()
+    if payload != expected:
+        DIFF_DIR.mkdir(parents=True, exist_ok=True)
+        actual_path = DIFF_DIR / name
+        actual_path.write_text(payload)
+        pytest.fail(
+            f"golden mismatch for {name}: current output written to "
+            f"{actual_path}; diff it against {golden} (or rerun with "
+            "--update-goldens if the change is intentional)"
+        )
+
+
+def _matrix_json(**service_kwargs) -> str:
+    service = RunService(use_cache=False, **service_kwargs)
+    cells = service.matrix(ALGOS, GRAPHS)
+    return canonical_reports_json(cells)
+
+
+def _golden_recorder() -> TraceRecorder:
+    """A small, fully deterministic recorder exercising every feature."""
+    rec = TraceRecorder()
+    with use_recorder(rec):
+        with rec.span("run", track="main", label="golden"):
+            with rec.span("phase", track="main", iteration=0):
+                rec.clock.advance(10.0)
+                rec.complete_span(
+                    "sub", begin=2.0, duration=5.0, track="sub", pe=3
+                )
+            rec.event("milestone", track="main", note="half")
+            with rec.span("phase", track="main", iteration=1):
+                rec.clock.advance(2.5)
+        rec.counter("edges").add(7)
+        rec.counter("edges").add(3)
+        rec.gauge("util").set(0.5)
+        rec.histogram("deg", edges=(1.0, 2.0, 4.0)).observe_many(
+            [0.5, 1.0, 3.0, 9.0]
+        )
+    rec.finish()
+    return rec
+
+
+class TestMatrixGolden:
+    def test_reports_byte_identical(self, update_goldens):
+        _check_or_update(
+            "matrix_reports.json", _matrix_json(), update_goldens
+        )
+
+    def test_traced_run_byte_identical(self, update_goldens):
+        """Observability on must not perturb any reported number."""
+        if update_goldens:
+            pytest.skip("golden written by test_reports_byte_identical")
+        with use_recorder(TraceRecorder()):
+            traced = _matrix_json()
+        _check_or_update("matrix_reports.json", traced, update=False)
+
+
+class TestExporterGolden:
+    def test_jsonl_stable(self, update_goldens):
+        _check_or_update(
+            "exporter_trace.jsonl", to_jsonl(_golden_recorder()), update_goldens
+        )
+
+    def test_chrome_trace_stable(self, update_goldens):
+        payload = json.dumps(
+            chrome_trace(_golden_recorder()), sort_keys=True, indent=1
+        )
+        _check_or_update("exporter_chrome.json", payload, update_goldens)

@@ -1,0 +1,76 @@
+"""Overhead guard: observability off must be free, on must be cheap.
+
+Two guarantees from the ISSUE's acceptance criteria:
+
+* with the default :class:`NullRecorder`, results are byte-identical to a
+  traced run (tracing cannot perturb the model);
+* the disabled instrumentation costs (nearly) nothing: the NullRecorder
+  run must stay within 10% of the traced run discounting noise --
+  measured as min-of-N interleaved repetitions to suppress scheduler
+  jitter, with a bounded remeasure loop because CI machines are noisy.
+"""
+
+import time
+
+from repro.graph import datasets
+from repro.harness.service import canonical_reports_json, execute_cell
+from repro.harness.service import RunService
+from repro.obs import NULL_RECORDER, TraceRecorder, use_recorder
+
+ALGO, GRAPH = "SSSP", "RM22"
+
+
+def _run_once(recorder):
+    graph = datasets.load(GRAPH)
+    with use_recorder(recorder):
+        return execute_cell(graph, ALGO, graph_key=GRAPH)
+
+
+class TestResultsIdentical:
+    def test_traced_reports_byte_identical_to_null(self):
+        base = canonical_reports_json(
+            RunService(use_cache=False).matrix([ALGO], [GRAPH])
+        )
+        with use_recorder(TraceRecorder()):
+            traced = canonical_reports_json(
+                RunService(use_cache=False).matrix([ALGO], [GRAPH])
+            )
+        assert base == traced
+
+    def test_functional_properties_identical(self):
+        null_cell = _run_once(NULL_RECORDER)
+        traced_cell = _run_once(TraceRecorder())
+        assert (
+            null_cell.functional.properties.tobytes()
+            == traced_cell.functional.properties.tobytes()
+        )
+
+
+class TestDisabledOverhead:
+    def test_null_recorder_within_ten_percent_of_traced(self):
+        """Disabled instrumentation must not slow the models down.
+
+        The NullRecorder path does strictly less work than a traced run,
+        so its best-of-N time should never exceed the traced best-of-N
+        by more than the noise floor; 10% is the ISSUE's bound.  Up to
+        three remeasurements absorb CI noise spikes.
+        """
+        datasets.load(GRAPH)  # warm the proxy-graph memo
+        _run_once(NULL_RECORDER)  # warm numpy/jit-ish caches
+        for attempt in range(3):
+            null_best = traced_best = float("inf")
+            for _ in range(5):  # interleave to share thermal/load drift
+                t0 = time.perf_counter()
+                _run_once(NULL_RECORDER)
+                null_best = min(null_best, time.perf_counter() - t0)
+                t0 = time.perf_counter()
+                _run_once(TraceRecorder())
+                traced_best = min(traced_best, time.perf_counter() - t0)
+            ratio = null_best / traced_best
+            if ratio < 1.10:
+                return
+        assert ratio < 1.10, (
+            f"NullRecorder run {ratio:.2f}x the traced run "
+            f"({null_best * 1e3:.1f}ms vs {traced_best * 1e3:.1f}ms); "
+            "disabled instrumentation has become expensive"
+        )

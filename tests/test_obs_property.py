@@ -1,0 +1,133 @@
+"""Property-based tests for the observability layer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import DeterministicClock, TraceRecorder
+from repro.obs.instruments import DEFAULT_BUCKET_EDGES, Counter, Histogram
+
+#: A random program over the recorder: open a child span, close the
+#: current span, or advance the clock.
+_OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("open"), st.sampled_from("abcd")),
+        st.tuples(st.just("close"), st.none()),
+        st.tuples(st.just("advance"), st.floats(0.0, 1e6)),
+    ),
+    max_size=60,
+)
+
+
+class TestSpanTreeProperties:
+    @given(_OPS)
+    @settings(max_examples=100, deadline=None)
+    def test_span_tree_well_formed(self, ops):
+        """Any open/close/advance interleaving yields a well-formed tree."""
+        rec = TraceRecorder()
+        open_handles = []
+        for op, arg in ops:
+            if op == "open":
+                open_handles.append(rec.span(arg, track="t"))
+            elif op == "close" and open_handles:
+                open_handles.pop().__exit__(None, None, None)
+            elif op == "advance":
+                rec.clock.advance(arg)
+        rec.finish()
+
+        by_id = {s.span_id: s for s in rec.spans}
+        for span in rec.spans:
+            # every span closed, bounded by its clock interval
+            assert span.closed
+            assert span.end >= span.begin
+            if span.parent_id is not None:
+                parent = by_id[span.parent_id]
+                # child interval nests inside its parent's
+                assert parent.begin <= span.begin
+                assert span.end <= parent.end
+        # ids are unique and increase in creation order
+        ids = [s.span_id for s in rec.spans]
+        assert ids == sorted(ids) and len(set(ids)) == len(ids)
+
+    @given(_OPS)
+    @settings(max_examples=50, deadline=None)
+    def test_clock_is_monotonic(self, ops):
+        rec = TraceRecorder()
+        last = rec.clock.now
+        for op, arg in ops:
+            if op == "advance":
+                rec.clock.advance(arg)
+            assert rec.clock.now >= last
+            last = rec.clock.now
+
+
+class TestCounterProperties:
+    @given(st.lists(st.floats(0.0, 1e12), max_size=50))
+    @settings(max_examples=100, deadline=None)
+    def test_counter_monotone_and_exact(self, amounts):
+        counter = Counter("c")
+        running = 0.0
+        for amount in amounts:
+            before = counter.value
+            counter.add(amount)
+            running += amount
+            assert counter.value >= before
+        assert counter.value == running
+
+    @given(st.floats(max_value=-1e-9, allow_nan=False))
+    @settings(max_examples=30, deadline=None)
+    def test_negative_add_rejected(self, amount):
+        counter = Counter("c")
+        with pytest.raises(ValueError):
+            counter.add(amount)
+
+
+class TestHistogramProperties:
+    @given(
+        st.lists(
+            st.floats(0.0, 1e7, allow_nan=False, allow_infinity=False),
+            max_size=200,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_bucket_counts_sum_to_observations(self, values):
+        hist = Histogram("h", edges=DEFAULT_BUCKET_EDGES)
+        hist.observe_many(np.asarray(values, dtype=np.float64))
+        assert sum(hist.counts) == len(values)
+        assert hist.count == len(values)
+
+    @given(
+        st.lists(
+            st.floats(0.0, 1e7, allow_nan=False, allow_infinity=False),
+            max_size=100,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_observe_many_equals_loop(self, values):
+        scalar = Histogram("a", edges=DEFAULT_BUCKET_EDGES)
+        batched = Histogram("b", edges=DEFAULT_BUCKET_EDGES)
+        for value in values:
+            scalar.observe(value)
+        batched.observe_many(np.asarray(values, dtype=np.float64))
+        assert scalar.counts == batched.counts
+        assert scalar.count == batched.count
+
+    @given(st.floats(0.0, 1e18, allow_nan=False))
+    @settings(max_examples=100, deadline=None)
+    def test_every_value_lands_in_exactly_one_bucket(self, value):
+        hist = Histogram("h", edges=DEFAULT_BUCKET_EDGES)
+        hist.observe(value)
+        assert sum(hist.counts) == 1
+
+
+class TestClockProperties:
+    @given(st.lists(st.floats(0.0, 1e9), max_size=40))
+    @settings(max_examples=60, deadline=None)
+    def test_now_is_sum_of_advances(self, deltas):
+        clock = DeterministicClock()
+        expected = 0.0
+        for delta in deltas:
+            clock.advance(delta)
+            expected += delta
+        assert clock.now == expected

@@ -1,5 +1,7 @@
 """Activity trace recorder tests."""
 
+import warnings
+
 import pytest
 
 from repro.sim import ActivityTrace
@@ -17,10 +19,27 @@ class TestRecording:
 
     def test_drop_past_capacity(self):
         trace = ActivityTrace(max_events=2)
-        for cycle in range(5):
-            trace.record(cycle, "u", "e")
+        with pytest.warns(ResourceWarning, match="further events are dropped"):
+            for cycle in range(5):
+                trace.record(cycle, "u", "e")
         assert len(trace) == 2
         assert trace.dropped == 3
+
+    def test_drop_warns_once(self):
+        trace = ActivityTrace(max_events=1)
+        trace.record(0, "u", "e")
+        with pytest.warns(ResourceWarning) as caught:
+            trace.record(1, "u", "e")
+            trace.record(2, "u", "e")
+        assert len(caught) == 1
+
+    def test_no_warning_under_capacity(self):
+        trace = ActivityTrace(max_events=8)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            for cycle in range(8):
+                trace.record(cycle, "u", "e")
+        assert trace.dropped == 0
 
     def test_span(self):
         trace = ActivityTrace()
@@ -74,3 +93,12 @@ class TestTimeline:
         trace.record(5, "u", "b")
         timeline = trace.render_timeline(first_cycle=4, last_cycle=5)
         assert timeline.splitlines()[1].endswith(".#")
+
+    def test_reports_dropped_events(self):
+        trace = ActivityTrace(max_events=1)
+        trace.record(0, "u", "a")
+        with pytest.warns(ResourceWarning):
+            trace.record(1, "u", "b")
+        assert trace.render_timeline().splitlines()[-1] == (
+            "(dropped 1 events past capacity)"
+        )
