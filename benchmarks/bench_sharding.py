@@ -1,0 +1,240 @@
+#!/usr/bin/env python
+"""Out-of-core sharded execution benchmarks -> ``BENCH_sharding.json``.
+
+Measures, for the paper-scale RMAT datasets (``RM18-FULL``,
+``RM22-FULL``...), the memory footprint and wall-clock of the two
+execution modes the storage/sharding tier offers::
+
+    memory-unsharded   in-memory CSR, single-shard Scatter (historical path)
+    mmap-sharded       spilled + memory-mapped CSR, 4-way destination shards
+
+Each mode runs in its own spawned subprocess so ``ru_maxrss`` is an
+honest per-mode peak, and each child returns a digest of the result
+properties — the byte-identical invariant is asserted *at paper scale*,
+not just on the tier-1 proxies.  The matching Table 4 proxy (e.g. RM12
+for RM22-FULL) is timed alongside as the scale-gap baseline::
+
+    PYTHONPATH=src python benchmarks/bench_sharding.py --quick          # RM18
+    PYTHONPATH=src python benchmarks/bench_sharding.py --datasets RM22-FULL
+    PYTHONPATH=src python benchmarks/bench_sharding.py --check --budget-mb 6144
+
+``--check`` exits non-zero unless (a) both modes produced bitwise equal
+properties, (b) the mmap-sharded peak RSS is under ``--budget-mb``, and
+(c) it undercuts the in-memory peak — the CI smoke gate for the
+out-of-core tier.
+
+Run standalone; not collected by pytest (no ``test_`` functions).
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import multiprocessing as mp
+import platform
+import resource
+import sys
+import time
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro import __version__
+from repro.graph import datasets
+
+DEFAULT_OUTPUT = "BENCH_sharding.json"
+DEFAULT_SHARDS = 4
+BENCH_ALGO = "BFS"
+
+
+def _rss_mb() -> float:
+    """Peak resident set of this process, in MiB (Linux ru_maxrss is KiB)."""
+    peak_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - bytes on macOS
+        peak_kb /= 1024
+    return peak_kb / 1024.0
+
+
+def _measure_child(conn, key: str, storage: str, shards: int) -> None:
+    """Subprocess body: load ``key`` under ``storage``, run one cell.
+
+    The source is the hottest vertex (max out-degree) so the BFS actually
+    traverses the giant component — vertex 0 of a permuted RMAT graph is
+    usually isolated.
+    """
+    from repro.vcpm import ALGORITHMS, run_vcpm_partitioned
+
+    try:
+        t0 = time.perf_counter()
+        graph = datasets.load(key, use_cache=False, storage=storage)
+        load_s = time.perf_counter() - t0
+        hub = int(np.argmax(np.diff(graph.offsets))) if graph.num_vertices else 0
+        t0 = time.perf_counter()
+        result = run_vcpm_partitioned(
+            graph, ALGORITHMS[BENCH_ALGO], shards=shards, source=hub
+        )
+        run_s = time.perf_counter() - t0
+        conn.send(
+            {
+                "rss_mb": round(_rss_mb(), 1),
+                "load_s": round(load_s, 3),
+                "run_s": round(run_s, 3),
+                "iterations": len(result.iterations),
+                "source": hub,
+                "prop_sha": hashlib.sha256(
+                    result.properties.tobytes()
+                ).hexdigest(),
+            }
+        )
+    except BaseException as exc:  # surfaced by the parent as a failure
+        conn.send({"error": repr(exc)})
+    finally:
+        conn.close()
+
+
+def measure(key: str, storage: str, shards: int) -> Dict:
+    """Run one (dataset, storage, shards) cell in a fresh subprocess."""
+    ctx = mp.get_context("spawn")
+    parent, child = ctx.Pipe(duplex=False)
+    proc = ctx.Process(target=_measure_child, args=(child, key, storage, shards))
+    proc.start()
+    child.close()
+    try:
+        payload = parent.recv()
+    except EOFError:
+        payload = {"error": f"subprocess died (exit {proc.exitcode})"}
+    proc.join()
+    if "error" in payload:
+        raise RuntimeError(
+            f"measurement ({key}, {storage}, shards={shards}) failed: "
+            f"{payload['error']}"
+        )
+    payload.update(
+        {
+            "name": f"{storage}-{'sharded' if shards > 1 else 'unsharded'}",
+            "dataset": key,
+            "storage": storage,
+            "shards": shards,
+            "algo": BENCH_ALGO,
+        }
+    )
+    return payload
+
+
+def proxy_key_for(full_key: str) -> Optional[str]:
+    """Table 4 proxy row matching a paper-scale ``*-FULL`` key, if any."""
+    candidate = full_key[: -len("-FULL")] if full_key.endswith("-FULL") else None
+    return candidate if candidate in datasets.DATASETS else None
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--datasets",
+        nargs="+",
+        default=["RM18-FULL", "RM22-FULL"],
+        choices=[s.key for s in datasets.RMAT_PAPER],
+        help="paper-scale keys to benchmark (default: RM18-FULL RM22-FULL)",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="RM18-FULL only (CI-friendly smoke run)",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=DEFAULT_SHARDS,
+        help=f"shard count of the out-of-core mode (default: {DEFAULT_SHARDS})",
+    )
+    parser.add_argument(
+        "--budget-mb",
+        type=float,
+        default=6144.0,
+        help="--check fails if the mmap-sharded peak RSS exceeds this",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit 1 unless results match bitwise and mmap stays in budget",
+    )
+    parser.add_argument("-o", "--output", default=DEFAULT_OUTPUT)
+    args = parser.parse_args(argv)
+
+    keys = ["RM18-FULL"] if args.quick else args.datasets
+    entries: List[Dict] = []
+    failures: List[str] = []
+
+    for key in keys:
+        in_memory = measure(key, "memory", 1)
+        out_of_core = measure(key, "mmap", args.shards)
+        entries.extend([in_memory, out_of_core])
+        spec = datasets.PAPER_DATASETS[key]
+        print(
+            f"{key}: V={spec.proxy_vertices:,} E={spec.proxy_edges:,}  "
+            f"memory {in_memory['rss_mb']:.0f} MB / "
+            f"{in_memory['load_s'] + in_memory['run_s']:.1f}s  ->  "
+            f"mmap x{args.shards} {out_of_core['rss_mb']:.0f} MB / "
+            f"{out_of_core['load_s'] + out_of_core['run_s']:.1f}s"
+        )
+        if in_memory["prop_sha"] != out_of_core["prop_sha"]:
+            failures.append(f"{key}: modes disagree (byte-identity violated)")
+        if out_of_core["rss_mb"] > args.budget_mb:
+            failures.append(
+                f"{key}: mmap-sharded peak {out_of_core['rss_mb']:.0f} MB "
+                f"exceeds budget {args.budget_mb:.0f} MB"
+            )
+        if out_of_core["rss_mb"] >= in_memory["rss_mb"]:
+            failures.append(
+                f"{key}: mmap-sharded peak {out_of_core['rss_mb']:.0f} MB "
+                f"not below in-memory peak {in_memory['rss_mb']:.0f} MB"
+            )
+
+        proxy = proxy_key_for(key)
+        if proxy is not None:
+            proxy_entry = measure(proxy, "memory", 1)
+            proxy_entry["name"] = "proxy-baseline"
+            entries.append(proxy_entry)
+            scale = spec.proxy_vertices // datasets.DATASETS[proxy].proxy_vertices
+            print(
+                f"  proxy {proxy} ({scale}x smaller): "
+                f"{proxy_entry['rss_mb']:.0f} MB / "
+                f"{proxy_entry['load_s'] + proxy_entry['run_s']:.2f}s"
+            )
+
+    payload = {
+        "schema": 1,
+        "package_version": __version__,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "algo": BENCH_ALGO,
+        "budget_mb": args.budget_mb,
+        "datasets": {
+            key: {
+                "vertices": datasets.PAPER_DATASETS[key].proxy_vertices,
+                "edges": datasets.PAPER_DATASETS[key].proxy_edges,
+            }
+            for key in keys
+        },
+        "benchmarks": entries,
+    }
+    with open(args.output, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {args.output} ({len(entries)} measurements)")
+
+    if args.check:
+        if failures:
+            for line in failures:
+                print(f"CHECK FAILED: {line}", file=sys.stderr)
+            return 1
+        print(
+            "check ok: modes bitwise equal, out-of-core peak under "
+            f"{args.budget_mb:.0f} MB"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -30,6 +30,7 @@ from ..energy.model import EnergyReport
 from ..graph.csr import CSRGraph
 from ..metrics.counters import RunReport
 from ..vcpm.engine import IterationObserver, VCPMResult, run_vcpm
+from ..vcpm.partitioned import ShardRunner, run_vcpm_partitioned
 from ..vcpm.spec import AlgorithmSpec
 
 __all__ = ["Backend", "BaseBackend", "config_digest"]
@@ -107,16 +108,37 @@ class BaseBackend:
         spec: AlgorithmSpec,
         source: Optional[int] = 0,
         max_iterations: Optional[int] = None,
+        shards: int = 1,
+        shard_runner: Optional["ShardRunner"] = None,
+        graph_ref: Optional[Tuple[str, str]] = None,
     ) -> Tuple[VCPMResult, RunReport]:
-        """Standalone single-system run (the CLI ``run`` path)."""
+        """Standalone single-system run (the CLI ``run`` path).
+
+        ``shards > 1`` (or an explicit ``shard_runner``) routes through
+        the destination-sharded engine; the observer still sees the full
+        merged iteration stream, so reports are identical to the
+        unsharded path.
+        """
         observer = self.make_observer(graph, spec)
-        result = run_vcpm(
-            graph,
-            spec,
-            source=source,
-            max_iterations=max_iterations,
-            observers=[observer],
-        )
+        if shards > 1 or shard_runner is not None:
+            result = run_vcpm_partitioned(
+                graph,
+                spec,
+                shards=shards,
+                source=source,
+                max_iterations=max_iterations,
+                observers=[observer],
+                shard_runner=shard_runner,
+                graph_ref=graph_ref,
+            )
+        else:
+            result = run_vcpm(
+                graph,
+                spec,
+                source=source,
+                max_iterations=max_iterations,
+                observers=[observer],
+            )
         return result, self.report(observer)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

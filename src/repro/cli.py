@@ -107,7 +107,32 @@ def build_parser() -> argparse.ArgumentParser:
         "interpreter, 'process' bypasses the GIL (default: thread)",
     )
 
-    run = sub.add_parser("run", help="run one algorithm on one system")
+    # Out-of-core / sharding knobs, shared by run, trace, and every
+    # service-backed command.  Results are byte-identical across all
+    # storage x shards combinations; only residency and fan-out change.
+    sharding_flags = argparse.ArgumentParser(add_help=False)
+    sharding_flags.add_argument(
+        "--storage",
+        choices=("memory", "mmap"),
+        default="memory",
+        help="graph storage backend: 'memory' holds CSR arrays resident, "
+        "'mmap' spills them to disk and memory-maps (required for the "
+        "paper-scale *-FULL datasets) (default: memory)",
+    )
+    sharding_flags.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="destination-contiguous shards for the Scatter phase; "
+        "results are byte-identical to --shards 1 (default: 1)",
+    )
+    service_flags = argparse.ArgumentParser(
+        add_help=False, parents=[service_flags, sharding_flags]
+    )
+
+    run = sub.add_parser(
+        "run", parents=[sharding_flags], help="run one algorithm on one system"
+    )
     run.add_argument("--graph", default="LJ", help="Table 4 dataset key")
     run.add_argument(
         "--algo", default="SSSP", choices=algorithm_names(), help="algorithm"
@@ -137,6 +162,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     trace = sub.add_parser(
         "trace",
+        parents=[sharding_flags],
         help="run one cell under the span recorder and export the trace",
     )
     trace.add_argument("algo", help="algorithm (case-insensitive, e.g. bfs)")
@@ -293,6 +319,8 @@ def _suite_from_args(args: argparse.Namespace) -> ExperimentSuite:
         use_cache=not args.no_cache,
         jobs=args.jobs,
         executor=args.executor,
+        storage=args.storage,
+        shards=args.shards,
     )
 
 
@@ -324,12 +352,15 @@ def _profiled(fn: Callable[[], int]) -> int:
 def _cmd_run_body(args: argparse.Namespace) -> int:
     from .obs import NULL_RECORDER, TraceRecorder, use_recorder
 
-    graph = datasets.load(args.graph)
+    graph = datasets.load(args.graph, storage=args.storage)
     backend = backends.create(args.system)
     recorder = TraceRecorder() if args.obs else NULL_RECORDER
     with use_recorder(recorder):
         result, report = backend.run(
-            graph, get_algorithm(args.algo), source=args.source
+            graph,
+            get_algorithm(args.algo),
+            source=args.source,
+            shards=args.shards,
         )
     if args.obs:
         from .obs.export import write_chrome_trace
@@ -364,11 +395,13 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     from .obs.export import stats_rows, to_jsonl, write_chrome_trace
 
     spec = get_algorithm(args.algo)  # raises on unknown, case-insensitive
-    graph = datasets.load(args.graph)
+    graph = datasets.load(args.graph, storage=args.storage)
     backend = backends.create(args.system)
     recorder = TraceRecorder()
     with use_recorder(recorder):
-        result, report = backend.run(graph, spec, source=args.source)
+        result, report = backend.run(
+            graph, spec, source=args.source, shards=args.shards
+        )
     recorder.finish()
 
     if args.format == "chrome":
@@ -497,6 +530,8 @@ def _cmd_matrix(args: argparse.Namespace) -> int:
         use_cache=not args.no_cache,
         jobs=args.jobs,
         executor=args.executor,
+        storage=args.storage,
+        shards=args.shards,
         resilience=RetryPolicy(
             max_attempts=max(args.retries, 1),
             backoff_base=args.backoff,
@@ -581,6 +616,27 @@ def _cmd_backends(_: argparse.Namespace) -> int:
 
 def _cmd_datasets(_: argparse.Namespace) -> int:
     print(tables.table4().render())
+    alias_rows = [
+        [alias, canonical, "proxy-scale RMAT alias"]
+        for alias, canonical in sorted(datasets.ALIASES.items())
+    ]
+    paper_rows = [
+        [
+            spec.key,
+            spec.key,
+            f"paper scale (V={spec.proxy_vertices:,}, "
+            f"E={spec.proxy_edges:,}; use --storage mmap)",
+        ]
+        for spec in datasets.RMAT_PAPER
+    ]
+    print()
+    print(
+        render_table(
+            ["key", "resolves_to", "notes"],
+            alias_rows + paper_rows,
+            title="aliases and paper-scale keys (also accepted by --graph)",
+        )
+    )
     return 0
 
 

@@ -35,12 +35,18 @@ class CSRGraph:
         edges: ``int64`` array of destination ids, length ``num_edges``.
         weights: ``float32`` array of edge weights, length ``num_edges``.
         name: optional human-readable dataset name.
+        validate: run the structural validation scan on construction.
+            Trusted constructors (the out-of-core storage layer, whose
+            spills were validated when written) pass ``False`` so that
+            opening a memory-mapped paper-scale graph does not page
+            every array byte in just to re-check invariants.
     """
 
     offsets: np.ndarray
     edges: np.ndarray
     weights: np.ndarray
     name: str = "graph"
+    validate: bool = dataclasses.field(default=True, compare=False)
 
     def __post_init__(self) -> None:
         offsets = np.ascontiguousarray(self.offsets, dtype=np.int64)
@@ -49,7 +55,8 @@ class CSRGraph:
         object.__setattr__(self, "offsets", offsets)
         object.__setattr__(self, "edges", edges)
         object.__setattr__(self, "weights", weights)
-        self._validate()
+        if self.validate:
+            self._validate()
 
     def _validate(self) -> None:
         if self.offsets.ndim != 1 or self.offsets.size < 1:

@@ -15,21 +15,33 @@ benchmark output can print them side by side.
 
 from __future__ import annotations
 
+import atexit
 import dataclasses
 import hashlib
 import json
 import threading
-from typing import Dict, List, Optional
+from collections import ChainMap
+from typing import Dict, List, Optional, Tuple
 
 from .csr import CSRGraph
-from .generators import power_law_graph, rmat_graph
+from .generators import rmat_edge_chunks, power_law_graph, rmat_graph
+from .storage import (
+    STORAGE_FORMAT_VERSION,
+    STORAGE_KINDS,
+    GraphStorage,
+    MmapStorage,
+    assemble_csr,
+    create_storage,
+)
 
 __all__ = [
     "DatasetSpec",
     "DATASETS",
     "ALIASES",
+    "PAPER_DATASETS",
     "REAL_WORLD",
     "RMAT_SCALING",
+    "RMAT_PAPER",
     "load",
     "resolve_key",
     "available",
@@ -58,13 +70,33 @@ class DatasetSpec:
     rmat_b: float = 0.19
     rmat_c: float = 0.19
     seed: int = 7
+    #: Paper-scale specs are built through the streaming RMAT generator
+    #: so they assemble out-of-core under a memory budget; their edge
+    #: stream is deliberately storage-independent (identical arrays for
+    #: ``storage="memory"`` and ``storage="mmap"``).
+    paper_scale: bool = False
 
     @property
     def edge_to_vertex_ratio(self) -> float:
         return self.paper_edges / self.paper_vertices
 
+    def _chunk_factory(self):
+        assert self.rmat_scale is not None
+        return lambda: rmat_edge_chunks(
+            self.rmat_scale,
+            edge_factor=16,
+            a=self.rmat_a,
+            b=self.rmat_b,
+            c=self.rmat_c,
+            seed=self.seed,
+        )
+
     def build(self) -> CSRGraph:
-        """Materialize the proxy graph."""
+        """Materialize the graph in memory."""
+        if self.paper_scale:
+            return assemble_csr(
+                self.proxy_vertices, self._chunk_factory(), name=self.key
+            )
         if self.rmat_scale is not None:
             return rmat_graph(
                 self.rmat_scale,
@@ -82,6 +114,22 @@ class DatasetSpec:
             seed=self.seed,
             name=self.key,
         )
+
+    def build_into(self, storage: GraphStorage) -> CSRGraph:
+        """Materialize the graph inside ``storage``.
+
+        Paper-scale specs stream straight into a :class:`MmapStorage`
+        (never holding the full edge set in memory); everything else is
+        built in memory and then adopted (spilled) by the backend.
+        """
+        if self.paper_scale and isinstance(storage, MmapStorage):
+            return assemble_csr(
+                self.proxy_vertices,
+                self._chunk_factory(),
+                storage=storage,
+                name=self.key,
+            )
+        return storage.adopt(self.build())
 
 
 def _real(key, full_name, pv, pe, desc, exponent=2.1, seed=7):
@@ -149,6 +197,45 @@ DATASETS: Dict[str, DatasetSpec] = {
     spec.key: spec for spec in (*REAL_WORLD, *RMAT_SCALING)
 }
 
+
+def _paper_spec(scale: int) -> DatasetSpec:
+    """True paper-scale RMAT row (no 64x proxy shrink).
+
+    Uses the standard Graph500 quadrant probabilities (the proxy rows
+    instead warp them to preserve skew across the scale gap -- at full
+    scale no warp is needed).
+    """
+    return DatasetSpec(
+        key=f"RM{scale}-FULL",
+        full_name=f"RMAT scale {scale} (paper scale)",
+        paper_vertices=(1 << scale),
+        paper_edges=(1 << scale) * 16,
+        proxy_vertices=(1 << scale),
+        proxy_edges=(1 << scale) * 16,
+        description="Synthetic Graph (paper scale, out-of-core)",
+        rmat_scale=scale,
+        seed=40 + scale,
+        paper_scale=True,
+    )
+
+
+#: Paper-scale RMAT graphs assembled out-of-core.  RM22-FULL..RM26-FULL
+#: are the actual Table 4 RMAT rows; RM18-FULL is a mid-size stepping
+#: stone used by the memory-footprint benchmarks.  These live in a
+#: separate registry (not ``DATASETS``) so the default tier-1 matrix and
+#: :func:`available` ordering stay exactly the Table 4 proxy set.
+RMAT_PAPER: List[DatasetSpec] = [
+    _paper_spec(scale) for scale in (18, 22, 23, 24, 25, 26)
+]
+
+PAPER_DATASETS: Dict[str, DatasetSpec] = {
+    spec.key: spec for spec in RMAT_PAPER
+}
+
+# A *live* union view (not a snapshot): tests and tools that patch a
+# spec in DATASETS must be seen by resolve_key/fingerprint immediately.
+_REGISTRY: "ChainMap[str, DatasetSpec]" = ChainMap(DATASETS, PAPER_DATASETS)
+
 #: Alternate spellings accepted by :func:`load`: the RMAT rows can be
 #: addressed by their *proxy* scale as well as the paper scale ("RM12" is
 #: the scale-12 proxy of the paper's RM22, and so on).
@@ -156,69 +243,141 @@ ALIASES: Dict[str, str] = {
     f"RM{spec.rmat_scale}": spec.key for spec in RMAT_SCALING
 }
 
-_cache: Dict[str, CSRGraph] = {}
+#: Memoized graphs keyed by ``(canonical_key, storage_kind)``.
+_cache: Dict[Tuple[str, str], CSRGraph] = {}
+#: Open spill backends backing the mmap entries of ``_cache``.
+_storages: Dict[Tuple[str, str], GraphStorage] = {}
 _cache_lock = threading.Lock()
 
 
 def resolve_key(key: str) -> str:
     """Canonical registry key for ``key`` (case-insensitive, aliases ok).
 
+    Resolves proxy datasets, paper-scale ``*-FULL`` datasets, and the
+    proxy-scale RMAT aliases.
+
     Raises:
         KeyError: the key matches neither a registry entry nor an alias.
     """
     folded = key.upper()
-    if folded in DATASETS:
+    if folded in _REGISTRY:
         return folded
     if folded in ALIASES:
         return ALIASES[folded]
     raise KeyError(
-        f"unknown dataset {key!r}; available: {sorted(DATASETS)} "
+        f"unknown dataset {key!r}; available: {sorted(_REGISTRY)} "
         f"(aliases: {sorted(ALIASES)})"
     )
 
 
-def load(key: str, use_cache: bool = True) -> CSRGraph:
-    """Load (and memoize) a proxy dataset by its Table 4 key, e.g. ``"LJ"``.
+def load(key: str, use_cache: bool = True, storage: str = "memory") -> CSRGraph:
+    """Load (and memoize) a dataset by its Table 4 key, e.g. ``"LJ"``.
 
     Keys are case-insensitive and accept the proxy-scale RMAT aliases
-    ("RM16" -> "RM26").  The memo is shared process-wide and
-    identity-stable — repeated suite, CLI, or parallel run-service calls
-    never regenerate an identical proxy graph.  Thread-safe: concurrent
-    first loads race on the build but :func:`dict.setdefault` guarantees
-    all callers see one canonical instance.
+    ("RM16" -> "RM26") plus the paper-scale ``RM22-FULL``.. keys.  The
+    memo is shared process-wide and identity-stable — repeated suite,
+    CLI, or parallel run-service calls never regenerate an identical
+    graph.  Thread-safe: concurrent first loads race on the build but
+    :func:`dict.setdefault` guarantees all callers see one canonical
+    instance.
+
+    Args:
+        key: dataset key or alias.
+        use_cache: memoize the loaded graph process-wide.
+        storage: ``"memory"`` (default, arrays resident) or ``"mmap"``
+            (arrays spilled to disk and memory-mapped read-only; the
+            spill directory lives under ``$REPRO_SPILL_DIR`` or the
+            system temp dir and is removed by :func:`clear_cache` /
+            interpreter exit).  Graph *content* is identical across
+            storage kinds — only residency differs.
     """
     key = resolve_key(key)
+    if storage not in STORAGE_KINDS:
+        raise ValueError(
+            f"unknown storage kind {storage!r}; expected one of {STORAGE_KINDS}"
+        )
+    cache_key = (key, storage)
     if use_cache:
         with _cache_lock:
-            if key in _cache:
-                return _cache[key]
-    graph = DATASETS[key].build()
+            if cache_key in _cache:
+                return _cache[cache_key]
+    spec = _REGISTRY[key]
+    if storage == "memory":
+        graph = spec.build()
+        backend: Optional[GraphStorage] = None
+    else:
+        backend = create_storage(storage)
+        try:
+            graph = spec.build_into(backend)
+        except BaseException:
+            backend.close()
+            raise
     if use_cache:
         with _cache_lock:
-            return _cache.setdefault(key, graph)
+            winner = _cache.setdefault(cache_key, graph)
+            if winner is graph and backend is not None:
+                _storages[cache_key] = backend
+            elif winner is not graph and backend is not None:
+                backend.close()  # lost the race; drop our duplicate spill
+            return winner
+    if backend is not None:
+        # Uncached mmap load: tie the spill's lifetime to the graph so the
+        # temp directory survives exactly as long as the arrays are
+        # reachable (MmapStorage's finalizer reclaims it afterwards).
+        object.__setattr__(graph, "_storage", backend)
     return graph
 
 
 def clear_cache() -> None:
-    """Drop all memoized proxy graphs (mainly for tests)."""
+    """Drop all memoized graphs and close their spill backends.
+
+    Closing unmaps every mmap-backed array and deletes owned spill
+    directories, so repeated matrix runs can't accumulate open file
+    descriptors or temp files.  Registered via :mod:`atexit` as a
+    last-resort cleanup.
+    """
     with _cache_lock:
         _cache.clear()
+        storages = list(_storages.values())
+        _storages.clear()
+    for backend in storages:
+        backend.close()
+
+
+atexit.register(clear_cache)
 
 
 def fingerprint(key: str) -> str:
-    """Stable digest of everything that determines a proxy graph.
+    """Stable digest of everything that determines a dataset's content.
 
-    Covers every :class:`DatasetSpec` field plus the global proxy scale,
-    so the run-service cache is invalidated whenever a dataset definition
-    (seed, exponent, dimensions...) changes.
+    Covers every :class:`DatasetSpec` field, the global proxy scale, and
+    the on-disk storage format version, so the run-service cache is
+    invalidated whenever a dataset definition (seed, exponent,
+    dimensions...) or the spill layout changes.  Deliberately does *not*
+    depend on the storage kind used to load the graph: memory and mmap
+    loads produce identical arrays, hence identical fingerprints.
     """
     key = resolve_key(key)
-    payload = dataclasses.asdict(DATASETS[key])
+    payload = dataclasses.asdict(_REGISTRY[key])
     payload["proxy_scale"] = PROXY_SCALE
+    payload["storage_format"] = STORAGE_FORMAT_VERSION
     text = json.dumps(payload, sort_keys=True, default=repr)
     return hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]
 
 
-def available() -> List[str]:
-    """All registered dataset keys in Table 4 order."""
-    return list(DATASETS)
+def available(
+    include_aliases: bool = False, include_paper_scale: bool = False
+) -> List[str]:
+    """Registered dataset keys in Table 4 order.
+
+    Args:
+        include_aliases: append the proxy-scale RMAT aliases
+            (``RM12``..``RM16``) after the canonical keys.
+        include_paper_scale: append the paper-scale ``*-FULL`` keys.
+    """
+    keys = list(DATASETS)
+    if include_aliases:
+        keys.extend(sorted(ALIASES))
+    if include_paper_scale:
+        keys.extend(PAPER_DATASETS)
+    return keys

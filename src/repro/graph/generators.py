@@ -14,7 +14,7 @@ Two families matter for the paper's evaluation:
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Iterator, Optional, Tuple
 
 import numpy as np
 
@@ -22,6 +22,8 @@ from .csr import CSRGraph
 
 __all__ = [
     "rmat_graph",
+    "rmat_edge_chunks",
+    "RMAT_CHUNK_EDGES",
     "power_law_graph",
     "uniform_random_graph",
     "grid_graph",
@@ -29,6 +31,12 @@ __all__ = [
     "star_graph",
     "complete_graph",
 ]
+
+#: Fixed chunk size of the streaming RMAT generator.  Part of the
+#: deterministic definition of every paper-scale dataset (chunks are
+#: seeded independently, so a different chunk size is a different edge
+#: stream); change it only together with the dataset fingerprint.
+RMAT_CHUNK_EDGES = 1 << 20
 
 # Standard Graph500 RMAT partition probabilities.
 _RMAT_A, _RMAT_B, _RMAT_C, _RMAT_D = 0.57, 0.19, 0.19, 0.05
@@ -89,6 +97,83 @@ def rmat_graph(
     return CSRGraph.from_edge_list(
         num_vertices, pairs, weights, name=name or f"RMAT{scale}"
     )
+
+
+def _rmat_quadrant_bits(
+    rng: np.random.Generator,
+    count: int,
+    scale: int,
+    a: float,
+    b: float,
+    c: float,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Raw (pre-permutation) RMAT endpoints for ``count`` edges."""
+    d = 1.0 - a - b - c
+    src = np.zeros(count, dtype=np.int64)
+    dst = np.zeros(count, dtype=np.int64)
+    ab = a + b
+    a_norm = a / (a + c) if (a + c) else 0.5
+    c_norm = c / (c + d) if (c + d) else 0.5
+    for level in range(scale):
+        bit = 1 << (scale - 1 - level)
+        r_row = rng.random(count)
+        r_col = rng.random(count)
+        row_bit = r_row > ab
+        p_col = np.where(row_bit, c_norm, a_norm)
+        col_bit = r_col > p_col
+        src += row_bit * bit
+        dst += col_bit * bit
+    return src, dst
+
+
+def rmat_edge_chunks(
+    scale: int,
+    edge_factor: int = 16,
+    a: float = _RMAT_A,
+    b: float = _RMAT_B,
+    c: float = _RMAT_C,
+    seed: int = 0,
+    chunk_edges: int = RMAT_CHUNK_EDGES,
+) -> Iterator[Tuple[np.ndarray, np.ndarray, np.ndarray]]:
+    """Stream an RMAT graph as ``(src, dst, weight)`` chunks.
+
+    The out-of-core twin of :func:`rmat_graph`: the same quadrant
+    recursion and [0, 255] integer weights, but never more than one
+    chunk of edges resident at a time, which is what lets the
+    paper-scale datasets (``RM22-FULL``..) be assembled under a memory
+    budget via :func:`repro.graph.storage.assemble_csr`.
+
+    Each chunk draws from an independent child of
+    ``np.random.SeedSequence(seed)``, so the stream is deterministic
+    *and* repeatable: two calls with identical arguments yield identical
+    chunk sequences (the two-pass assembler depends on this).  Note the
+    stream differs from :func:`rmat_graph`'s single-pass draw at equal
+    seeds -- the chunked stream is its own (equally valid) graph
+    definition.
+
+    The id-decorrelating vertex permutation of :func:`rmat_graph` is
+    preserved: one permutation is drawn from the first child seed and
+    applied to every chunk.
+    """
+    if scale < 1:
+        raise ValueError("scale must be >= 1")
+    if chunk_edges < 1:
+        raise ValueError("chunk_edges must be positive")
+    if 1.0 - a - b - c < 0:
+        raise ValueError("RMAT probabilities must sum to <= 1")
+    num_vertices = 1 << scale
+    num_edges = num_vertices * edge_factor
+    num_chunks = -(-num_edges // chunk_edges)
+    children = np.random.SeedSequence(seed).spawn(num_chunks + 1)
+    perm = np.random.default_rng(children[0]).permutation(num_vertices)
+    produced = 0
+    for index in range(num_chunks):
+        count = min(chunk_edges, num_edges - produced)
+        produced += count
+        rng = np.random.default_rng(children[index + 1])
+        src, dst = _rmat_quadrant_bits(rng, count, scale, a, b, c)
+        weights = rng.integers(0, 256, size=count).astype(np.float32)
+        yield perm[src], perm[dst], weights
 
 
 def power_law_graph(

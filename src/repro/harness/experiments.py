@@ -59,6 +59,8 @@ class ExperimentSuite:
         use_cache: bool = True,
         jobs: int = 1,
         executor: str = "thread",
+        storage: str = "memory",
+        shards: int = 1,
         resilience: Optional[RetryPolicy] = None,
         faults: Optional[FaultInjector] = None,
         manifest_path: Optional[str] = None,
@@ -74,6 +76,8 @@ class ExperimentSuite:
             use_cache=use_cache,
             jobs=jobs,
             executor=executor,
+            storage=storage,
+            shards=shards,
         )
         if (
             resilience is not None

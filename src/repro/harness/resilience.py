@@ -57,6 +57,7 @@ from typing import (
 
 from ..obs import get_recorder
 from ..vcpm.algorithms import algorithm_names
+from ..vcpm.partitioned import scatter_shard_task
 from .faults import FaultError, FaultInjector
 from .service import (
     REAL_WORLD_KEYS,
@@ -205,6 +206,8 @@ class RunManifest:
         self.completed: Dict[Tuple[str, str], Optional[str]] = dict(
             completed or {}
         )
+        #: Per-cell shard indices recorded via :meth:`mark_shard`.
+        self.shard_completed: Dict[Tuple[str, str], set] = {}
 
     @staticmethod
     def _key(algorithm: str, graph_key: str) -> Tuple[str, str]:
@@ -244,16 +247,33 @@ class RunManifest:
                 f"{path} is not a schema-{MANIFEST_SCHEMA} matrix manifest"
             )
         completed: Dict[Tuple[str, str], Optional[str]] = {}
+        shard_completed: Dict[Tuple[str, str], set] = {}
         for line in lines[1:]:
             try:
                 entry = json.loads(line)
-                algorithm, graph_key = entry["cell"]
-            except (ValueError, KeyError, TypeError):
+            except ValueError:
                 continue  # torn tail line from a kill mid-append
+            try:
+                algorithm, graph_key = entry["cell"]
+            except (KeyError, TypeError):
+                # Not a cell entry; maybe a per-shard breadcrumb (older
+                # readers skip these the same way — the schema is
+                # backwards compatible by construction).
+                try:
+                    algorithm, graph_key = entry["shard_of"]
+                    shard = int(entry["shard"])
+                except (KeyError, TypeError, ValueError):
+                    continue
+                shard_completed.setdefault(
+                    cls._key(algorithm, graph_key), set()
+                ).add(shard)
+                continue
             completed[cls._key(algorithm, graph_key)] = entry.get("cache_key")
-        return cls(
+        manifest = cls(
             path, header["algorithms"], header["graph_keys"], completed
         )
+        manifest.shard_completed = shard_completed
+        return manifest
 
     def mark(
         self, algorithm: str, graph_key: str, cache_key: Optional[str] = None
@@ -268,6 +288,36 @@ class RunManifest:
             handle.write(json.dumps(entry, sort_keys=True) + "\n")
             handle.flush()
             os.fsync(handle.fileno())
+
+    def mark_shard(
+        self, algorithm: str, graph_key: str, shard: int, shards: int
+    ) -> None:
+        """Record one completed shard of a cell's first iteration.
+
+        Progress breadcrumbs, not resume units: resume stays
+        cell-granular (results live in the persistent cache), but the
+        journal shows *which shards* of a long paper-scale cell had
+        finished when a sweep died.  Idempotent per (cell, shard); old
+        readers skip these lines (no ``"cell"`` key).
+        """
+        key = self._key(algorithm, graph_key)
+        done = self.shard_completed.setdefault(key, set())
+        if shard in done:
+            return
+        done.add(shard)
+        entry = {
+            "shard_of": [key[0], key[1]],
+            "shard": int(shard),
+            "shards": int(shards),
+        }
+        with open(self.path, "a") as handle:
+            handle.write(json.dumps(entry, sort_keys=True) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def shard_progress(self, algorithm: str, graph_key: str) -> set:
+        """Shard indices recorded for one cell (empty when unsharded)."""
+        return set(self.shard_completed.get(self._key(algorithm, graph_key), ()))
 
     def is_completed(self, algorithm: str, graph_key: str) -> bool:
         return self._key(algorithm, graph_key) in self.completed
@@ -303,6 +353,8 @@ def _resilient_cell_worker(
     source: int,
     plan,
     max_attempts: int,
+    storage: str = "memory",
+    shards: int = 1,
 ) -> Tuple[CellResult, int]:
     """Process-pool entry point: fault hooks + retries inside the worker.
 
@@ -317,7 +369,9 @@ def _resilient_cell_worker(
         try:
             if plan is not None:
                 plan.fire(attempt, in_worker=True)
-            cell = _cell_in_subprocess(backends, algorithm, graph_key, source)
+            cell = _cell_in_subprocess(
+                backends, algorithm, graph_key, source, storage, shards
+            )
             return cell, attempt
         except FaultError:
             if attempt >= max_attempts:
@@ -438,6 +492,35 @@ class ResilientRunService(RunService):
                 request.algorithm, request.graph_key, attempt
             )
         return super()._run_cell(request)
+
+    def _shard_runner_for(self, request: RunRequest, graph):
+        """Wrap the shard runner to journal per-shard breadcrumbs.
+
+        Active only for parent-side sharded cells with an open manifest:
+        the first completion of each shard index is appended to the
+        journal, so a killed paper-scale sweep shows how far each cell's
+        shard fan-out progressed.
+        """
+        runner, graph_ref, cleanup = super()._shard_runner_for(request, graph)
+        manifest = self._manifest
+        if manifest is None or request.shards <= 1:
+            return runner, graph_ref, cleanup
+        base = runner or (
+            lambda tasks: [scatter_shard_task(t, graph) for t in tasks]
+        )
+
+        def marking_runner(tasks):
+            segments = base(tasks)
+            for task in tasks:
+                manifest.mark_shard(
+                    request.algorithm,
+                    request.graph_key,
+                    task.shard_index,
+                    request.shards,
+                )
+            return segments
+
+        return marking_runner, graph_ref, cleanup
 
     # ------------------------------------------------------------------
     # Store-level resilience
@@ -620,6 +703,8 @@ class ResilientRunService(RunService):
                         request.source,
                         plan if plan else None,
                         self.policy.max_attempts,
+                        request.storage,
+                        request.shards,
                     ),
                     algorithm,
                     graph_key,

@@ -66,9 +66,16 @@ from ..metrics.serialize import (
     report_from_dict,
     report_to_dict,
 )
+from ..graph.storage import STORAGE_KINDS
 from ..obs import get_recorder
 from ..vcpm.algorithms import algorithm_names, get_algorithm
 from ..vcpm.engine import IterationTrace, VCPMResult, run_vcpm
+from ..vcpm.partitioned import (
+    ShardRunner,
+    ShardScatterTask,
+    run_vcpm_partitioned,
+    scatter_shard_task,
+)
 
 __all__ = [
     "REAL_WORLD_KEYS",
@@ -125,18 +132,61 @@ def _cell_in_subprocess(
     algorithm: str,
     graph_key: str,
     source: int,
+    storage: str = "memory",
+    shards: int = 1,
 ) -> "CellResult":
     """Worker entry point for ``executor="process"`` matrix fan-out.
 
     Module-level so :mod:`concurrent.futures` can pickle it by
-    reference; the proxy graph is (re)built inside the worker from the
-    dataset registry, which is deterministic, so the returned
-    :class:`CellResult` is identical to an in-process execution.
+    reference; the graph is (re)built inside the worker from the dataset
+    registry (honouring the storage backend), which is deterministic, so
+    the returned :class:`CellResult` is identical to an in-process
+    execution.  Shards execute in-process inside the worker — the matrix
+    already owns the process pool, and nesting pools per cell would
+    oversubscribe it; the sharded *reduction structure* (and hence the
+    byte-identical result) is preserved either way.
     """
-    graph = datasets.load(graph_key)
+    graph = datasets.load(graph_key, storage=storage)
     return execute_cell(
-        graph, algorithm, graph_key=graph_key, source=source, backends=backends
+        graph,
+        algorithm,
+        graph_key=graph_key,
+        source=source,
+        backends=backends,
+        shards=shards,
     )
+
+
+def _shard_scatter_in_subprocess(task: ShardScatterTask) -> np.ndarray:
+    """Worker entry point for per-shard Scatter fan-out.
+
+    Re-loads the (typically mmap-backed) graph from the task's
+    ``graph_ref`` through the worker's process-wide dataset memo — only
+    the active/property arrays and the shard's segment cross the process
+    boundary, never the CSR arrays.
+    """
+    if task.graph_ref is None:
+        raise ValueError("process shard fan-out requires a graph_ref")
+    graph_key, storage = task.graph_ref
+    graph = datasets.load(graph_key, storage=storage)
+    return scatter_shard_task(task, graph)
+
+
+class _ProcessShardRunner:
+    """Maps :class:`ShardScatterTask` batches onto a process pool.
+
+    One runner (and pool) lives for the duration of one cell execution,
+    amortizing worker start-up across all iterations of that cell.
+    """
+
+    def __init__(self, workers: int) -> None:
+        self._pool = ProcessPoolExecutor(max_workers=max(1, workers))
+
+    def __call__(self, tasks: List[ShardScatterTask]) -> List[np.ndarray]:
+        return list(self._pool.map(_shard_scatter_in_subprocess, tasks))
+
+    def close(self) -> None:
+        self._pool.shutdown()
 
 
 def execute_cell(
@@ -145,20 +195,38 @@ def execute_cell(
     graph_key: Optional[str] = None,
     source: int = 0,
     backends: Optional[Sequence[Backend]] = None,
+    shards: int = 1,
+    shard_runner: Optional[ShardRunner] = None,
+    graph_ref: Optional[Tuple[str, str]] = None,
 ) -> CellResult:
     """Run all backends on one (graph, algorithm) pair.
 
     One functional run drives every backend's observer simultaneously
     (they are independent observers of the same data-dependent
     behaviour), which both guarantees a fair comparison and keeps the
-    whole matrix fast.
+    whole matrix fast.  With ``shards > 1`` (or an explicit
+    ``shard_runner``) the functional run routes through the
+    destination-sharded engine; observers still see the full merged
+    iteration stream, so the resulting reports are byte-identical to the
+    unsharded path.
     """
     backends = list(backends) if backends is not None else default_backends()
     spec = get_algorithm(algorithm)
     observers = {b.name: b.make_observer(graph, spec) for b in backends}
-    functional = run_vcpm(
-        graph, spec, source=source, observers=list(observers.values())
-    )
+    if shards > 1 or shard_runner is not None:
+        functional = run_vcpm_partitioned(
+            graph,
+            spec,
+            shards=shards,
+            source=source,
+            observers=list(observers.values()),
+            shard_runner=shard_runner,
+            graph_ref=graph_ref,
+        )
+    else:
+        functional = run_vcpm(
+            graph, spec, source=source, observers=list(observers.values())
+        )
     reports = {b.name: b.report(observers[b.name]) for b in backends}
     energy = {b.name: b.energy(reports[b.name]) for b in backends}
     return CellResult(
@@ -179,9 +247,20 @@ class RunRequest:
     #: (backend display name, backend config digest) pairs.
     backends: Tuple[Tuple[str, str], ...]
     source: int = 0
+    #: Execution strategy, not content: storage backend and shard count
+    #: change *how* the cell is computed, never its result (the
+    #: byte-identical invariant), so they are deliberately excluded from
+    #: :meth:`cache_key` — an mmap 4-shard run hits the cache entry a
+    #: memory unsharded run wrote, and vice versa.
+    storage: str = "memory"
+    shards: int = 1
 
     def cache_key(self, dataset_fingerprint: str, package_version: str) -> str:
-        """Content address of this request's result."""
+        """Content address of this request's result.
+
+        Excludes ``storage``/``shards`` (see the field comment): the key
+        addresses the *result*, which execution strategy cannot change.
+        """
         payload = {
             "schema": SCHEMA_VERSION,
             "package_version": package_version,
@@ -313,6 +392,13 @@ class RunService:
             :meth:`matrix` fans out cache-miss cells when ``jobs > 1``.
             Processes sidestep the GIL, so CPU-bound matrices scale with
             cores; results are bit-identical either way.
+        storage: graph storage backend for cell execution — ``"memory"``
+            (default) or ``"mmap"`` (out-of-core spills, required for the
+            paper-scale ``*-FULL`` datasets under a memory budget).
+        shards: destination-shard count for the functional run; with
+            ``executor="process"`` shards of a parent-side cell fan out
+            across a process pool.  Results are byte-identical for every
+            storage × shards combination.
     """
 
     def __init__(
@@ -325,16 +411,27 @@ class RunService:
         use_cache: bool = True,
         jobs: int = 1,
         executor: str = "thread",
+        storage: str = "memory",
+        shards: int = 1,
     ) -> None:
         if executor not in ("thread", "process"):
             raise ValueError(
                 f"unknown executor {executor!r}; expected 'thread' or 'process'"
             )
+        if storage not in STORAGE_KINDS:
+            raise ValueError(
+                f"unknown storage kind {storage!r}; expected one of "
+                f"{STORAGE_KINDS}"
+            )
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
         if backends is not None:
             self.backends: List[Backend] = list(backends)
         else:
             self.backends = default_backends(backend_configs)
         self.executor = executor
+        self.storage = storage
+        self.shards = int(shards)
         self.default_source = default_source
         self.cache_dir = (
             os.path.abspath(os.path.expanduser(cache_dir))
@@ -367,6 +464,8 @@ class RunService:
                 (b.name, b.config_digest()) for b in self.backends
             ),
             source=self.default_source,
+            storage=self.storage,
+            shards=self.shards,
         )
 
     def cache_key(self, request: RunRequest) -> str:
@@ -525,6 +624,23 @@ class RunService:
             self.stats.misses += 1
             return self._cells.setdefault(key, cell)
 
+    def _shard_runner_for(
+        self, request: RunRequest, graph: CSRGraph
+    ) -> Tuple[Optional[ShardRunner], Optional[Tuple[str, str]], Optional[
+        Callable[[], None]
+    ]]:
+        """(runner, graph_ref, cleanup) for one cell's shard fan-out.
+
+        Process fan-out only engages for parent-side cells under
+        ``executor="process"``; otherwise shards run in-process (same
+        reduction structure, same bytes).  The resilience layer wraps the
+        returned runner to drop per-shard checkpoint breadcrumbs.
+        """
+        if request.shards > 1 and self.executor == "process":
+            runner = _ProcessShardRunner(min(self.jobs, request.shards))
+            return runner, (request.graph_key, request.storage), runner.close
+        return None, None, None
+
     def _run_cell(self, request: RunRequest) -> CellResult:
         """Execute one genuine cache miss.
 
@@ -532,14 +648,22 @@ class RunService:
         resilience layer overrides this to add fault hooks, per-attempt
         timeouts, and bounded retries around the same computation.
         """
-        graph = datasets.load(request.graph_key)
-        return execute_cell(
-            graph,
-            request.algorithm,
-            graph_key=request.graph_key,
-            source=request.source,
-            backends=self.backends,
-        )
+        graph = datasets.load(request.graph_key, storage=request.storage)
+        runner, graph_ref, cleanup = self._shard_runner_for(request, graph)
+        try:
+            return execute_cell(
+                graph,
+                request.algorithm,
+                graph_key=request.graph_key,
+                source=request.source,
+                backends=self.backends,
+                shards=request.shards,
+                shard_runner=runner,
+                graph_ref=graph_ref,
+            )
+        finally:
+            if cleanup is not None:
+                cleanup()
 
     def matrix(
         self,
@@ -612,6 +736,8 @@ class RunService:
                         request.algorithm,
                         request.graph_key,
                         request.source,
+                        request.storage,
+                        request.shards,
                     ),
                     key,
                     request,

@@ -29,6 +29,12 @@ from .optimized import (
     dispatch_scatter,
     run_optimized,
 )
+from .partitioned import (
+    ShardRunner,
+    ShardScatterTask,
+    run_vcpm_partitioned,
+    scatter_shard_task,
+)
 from .pull import run_vcpm_pull
 from .sliced import run_vcpm_sliced
 from .extensions import (
@@ -68,6 +74,10 @@ __all__ = [
     "run_optimized",
     "run_vcpm_pull",
     "run_vcpm_sliced",
+    "ShardRunner",
+    "ShardScatterTask",
+    "run_vcpm_partitioned",
+    "scatter_shard_task",
     "SPMV",
     "DEGREE_COUNT",
     "MAX_INCOMING",

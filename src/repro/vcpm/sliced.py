@@ -6,17 +6,21 @@ the edges whose destination falls in the resident interval, re-reading the
 active vertex data once per slice.  The timing layer models the cost; this
 module executes the technique *functionally* so the invariant -- slicing
 never changes results -- is testable end to end.
+
+Since the sharded refactor this is a thin front over
+:func:`repro.vcpm.partitioned.run_vcpm_partitioned`: VB slicing is the
+``shards=1`` special case of the shard × slice composition (a single shard
+covering ``[0, num_vertices)``, sliced by the VB plan).  Results are
+bitwise-identical to the pre-refactor implementation.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
-
-import numpy as np
+from typing import Optional
 
 from ..graph.csr import CSRGraph
-from ..graph.slicing import SlicePlan, plan_slices
-from .engine import IterationTrace, VCPMResult, gather_edge_indices
+from .engine import VCPMResult
+from .partitioned import run_vcpm_partitioned
 from .spec import AlgorithmSpec
 
 __all__ = ["run_vcpm_sliced"]
@@ -42,91 +46,13 @@ def run_vcpm_sliced(
             :func:`repro.vcpm.engine.run_vcpm`.
         tprop_bytes: bytes per temporary property entry.
     """
-    num_vertices = graph.num_vertices
-    if max_iterations is None:
-        max_iterations = spec.default_max_iterations
-    if not spec.needs_source:
-        source = None
-    elif source is None:
-        raise ValueError(f"{spec.name} requires a source vertex")
-
-    plan: SlicePlan = plan_slices(num_vertices, vb_capacity_bytes, tprop_bytes)
-    prop = spec.initial_prop(num_vertices, source)
-    t_prop = spec.initial_tprop(num_vertices)
-    deg = graph.out_degree().astype(np.float64)
-    c_prop = deg if spec.uses_degree_cprop else np.zeros(num_vertices)
-    if spec.uses_degree_cprop and num_vertices:
-        prop = prop / np.maximum(c_prop, 1.0)
-
-    if spec.all_vertices_active_initially:
-        active = np.arange(num_vertices, dtype=np.int64)
-    elif source is not None and num_vertices:
-        active = np.asarray([source], dtype=np.int64)
-    else:
-        active = np.zeros(0, dtype=np.int64)
-
-    traces: List[IterationTrace] = []
-    converged = False
-
-    for iteration in range(max_iterations):
-        if active.size == 0:
-            converged = True
-            break
-
-        edge_idx = gather_edge_indices(graph.offsets, active)
-        edge_dst = graph.edges[edge_idx]
-        edge_w = graph.weights[edge_idx].astype(np.float64)
-        degrees = graph.offsets[active + 1] - graph.offsets[active]
-        u_prop = np.repeat(prop[active], degrees)
-        t_prop_before = t_prop.copy()
-
-        # One Scatter pass per slice: only edges landing in the resident
-        # interval are reduced, while the whole active set is re-walked
-        # (the re-read cost the timing model charges).
-        for slice_ in plan:
-            in_slice = (edge_dst >= slice_.vertex_lo) & (
-                edge_dst < slice_.vertex_hi
-            )
-            if not np.any(in_slice):
-                continue
-            results = spec.process_edge(u_prop[in_slice], edge_w[in_slice])
-            spec.reduce_op.ufunc.at(t_prop, edge_dst[in_slice], results)
-
-        modified = np.flatnonzero(t_prop != t_prop_before)
-
-        apply_res = spec.apply(prop, t_prop, c_prop)
-        activated_mask = apply_res != prop
-        activated = np.flatnonzero(activated_mask)
-        old_prop = prop
-        prop = np.where(activated_mask, apply_res, prop)
-
-        traces.append(
-            IterationTrace(
-                iteration=iteration,
-                num_active=int(active.size),
-                num_edges=int(edge_dst.size),
-                num_modified=int(modified.size),
-                num_activated=int(activated.size),
-            )
-        )
-
-        if spec.resets_tprop_each_iteration:
-            t_prop = spec.initial_tprop(num_vertices)
-            if float(np.abs(prop - old_prop).sum()) < pr_tolerance:
-                converged = True
-                break
-            active = np.arange(num_vertices, dtype=np.int64)
-        else:
-            active = activated
-            if active.size == 0:
-                converged = True
-                break
-
-    return VCPMResult(
-        algorithm=spec.name,
-        graph_name=graph.name,
-        properties=prop,
-        iterations=traces,
-        converged=converged,
+    return run_vcpm_partitioned(
+        graph,
+        spec,
+        shards=1,
+        vb_capacity_bytes=vb_capacity_bytes,
         source=source,
+        max_iterations=max_iterations,
+        pr_tolerance=pr_tolerance,
+        tprop_bytes=tprop_bytes,
     )

@@ -84,6 +84,30 @@ class TestParser:
         assert args.executor == "process"
         assert args.no_cache is True
 
+    def test_sharding_flag_defaults(self):
+        for argv in (["run"], ["matrix"], ["trace", "bfs", "FR"]):
+            args = build_parser().parse_args(argv)
+            assert args.storage == "memory"
+            assert args.shards == 1
+
+    def test_sharding_flags_parse(self):
+        args = build_parser().parse_args(
+            ["run", "--storage", "mmap", "--shards", "4"]
+        )
+        assert args.storage == "mmap"
+        assert args.shards == 4
+
+    def test_rejects_unknown_storage(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--storage", "tape"])
+
+    def test_matrix_accepts_sharding_flags(self):
+        args = build_parser().parse_args(
+            ["matrix", "--storage", "mmap", "--shards", "2", "--jobs", "2"]
+        )
+        assert args.storage == "mmap"
+        assert args.shards == 2
+
 
 class TestCommands:
     def test_datasets(self, capsys):
@@ -91,6 +115,24 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "LiveJournal" in out
         assert "RMAT scale 26" in out
+
+    def test_datasets_lists_aliases_and_paper_scale(self, capsys):
+        # S1: alias and *-FULL spellings are discoverable from the CLI.
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "RM12" in out
+        assert "proxy-scale RMAT alias" in out
+        assert "RM22-FULL" in out
+        assert "paper scale" in out
+
+    def test_run_sharded_mmap_matches_default(self, capsys):
+        assert main(["run", "--graph", "FR", "--algo", "BFS"]) == 0
+        baseline = capsys.readouterr().out
+        assert main(
+            ["run", "--graph", "FR", "--algo", "BFS",
+             "--storage", "mmap", "--shards", "3"]
+        ) == 0
+        assert capsys.readouterr().out == baseline
 
     def test_run_graphdyns(self, capsys):
         assert main(["run", "--graph", "FR", "--algo", "BFS"]) == 0

@@ -1,8 +1,15 @@
-"""Dataset registry (Table 4 proxies) tests."""
+"""Dataset registry (Table 4 proxies + paper-scale rows) tests."""
 
 import pytest
 
-from repro.graph import DATASETS, REAL_WORLD, RMAT_SCALING, datasets
+from repro.graph import (
+    DATASETS,
+    PAPER_DATASETS,
+    REAL_WORLD,
+    RMAT_PAPER,
+    RMAT_SCALING,
+    datasets,
+)
 
 
 class TestRegistry:
@@ -80,3 +87,65 @@ class TestLoading:
     def test_rmat_proxy_loads(self):
         g = datasets.load("RM22")
         assert g.num_vertices == 1 << 12
+
+    def test_proxy_scale_aliases_resolve(self):
+        # S1: the RMAT rows answer to their proxy-scale spelling too.
+        for proxy, canonical in [("RM12", "RM22"), ("RM16", "RM26")]:
+            assert datasets.resolve_key(proxy) == canonical
+            assert datasets.load(proxy) is datasets.load(canonical)
+
+    def test_available_includes_aliases_on_request(self):
+        keys = datasets.available(include_aliases=True)
+        assert keys[:11] == datasets.available()
+        assert set(keys[11:]) == {"RM12", "RM13", "RM14", "RM15", "RM16"}
+
+    def test_available_includes_paper_scale_on_request(self):
+        keys = datasets.available(include_paper_scale=True)
+        assert keys[:11] == datasets.available()
+        assert keys[11:] == list(PAPER_DATASETS)
+
+
+class TestPaperScaleRegistry:
+    def test_separate_registry(self):
+        # Paper-scale rows must NOT leak into the tier-1 matrix registry.
+        assert not set(PAPER_DATASETS) & set(DATASETS)
+        assert len(RMAT_PAPER) == 6
+        for spec in RMAT_PAPER:
+            assert spec.paper_scale
+            assert spec.key.endswith("-FULL")
+
+    def test_full_scale_dimensions(self):
+        rm22 = PAPER_DATASETS["RM22-FULL"]
+        assert rm22.proxy_vertices == 1 << 22
+        assert rm22.proxy_edges == (1 << 22) * 16
+        assert rm22.proxy_vertices == rm22.paper_vertices
+
+    def test_full_keys_resolve(self):
+        assert datasets.resolve_key("rm22-full") == "RM22-FULL"
+        with pytest.raises(KeyError):
+            datasets.resolve_key("RM99-FULL")
+
+    def test_fingerprints_distinct_from_proxies(self):
+        assert datasets.fingerprint("RM22-FULL") != datasets.fingerprint("RM22")
+
+
+class TestFingerprint:
+    def test_stable_across_calls(self):
+        assert datasets.fingerprint("FR") == datasets.fingerprint("FR")
+
+    def test_distinct_across_datasets(self):
+        prints = {datasets.fingerprint(k) for k in datasets.available()}
+        assert len(prints) == 11
+
+    def test_covers_storage_format_version(self, monkeypatch):
+        # Bumping the spill layout version must invalidate cached results.
+        before = datasets.fingerprint("FR")
+        monkeypatch.setattr(datasets, "STORAGE_FORMAT_VERSION", 999)
+        assert datasets.fingerprint("FR") != before
+
+    def test_independent_of_storage_kind(self):
+        # Content-addressed: memory and mmap loads share one fingerprint
+        # (and hence one run-service cache entry).
+        datasets.load("FR")
+        datasets.load("FR", storage="mmap")
+        assert datasets.fingerprint("FR") == datasets.fingerprint("fr")
