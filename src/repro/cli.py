@@ -9,6 +9,9 @@
     python -m repro matrix --jobs 4 --checkpoint sweep.jsonl -o reports.json
     python -m repro matrix --resume sweep.jsonl -o reports.json
     python -m repro report -o EXPERIMENTS.md
+    python -m repro serve --port 8177 --journal jobs.jsonl
+    python -m repro submit --algorithms BFS --graphs FR --wait -o out.json
+    python -m repro jobs --url http://127.0.0.1:8177
     python -m repro backends
     python -m repro datasets
 
@@ -25,6 +28,12 @@ a checkpoint manifest (``--checkpoint``/``--resume``) so a killed sweep
 re-executes only its unfinished cells.  ``--inject`` enables the
 deterministic fault hooks (``crash:N``, ``hang:N:SECONDS``, ``kill:N``,
 ``flaky-store:N``, ``corrupt-cache:N``) used by the failure-mode tests.
+
+``serve`` runs the durable simulation daemon
+(:mod:`repro.harness.serve`): an HTTP/JSON job API with a write-ahead
+journal (crash-safe resume), request coalescing, admission control with
+per-client rate limits and 429/503 + Retry-After backpressure, and
+graceful drain on SIGTERM.  ``submit``/``jobs`` are its thin clients.
 """
 
 from __future__ import annotations
@@ -292,6 +301,174 @@ def build_parser() -> argparse.ArgumentParser:
         help="regenerate EXPERIMENTS.md (slow: full evaluation)",
     )
     report.add_argument("-o", "--output", default="EXPERIMENTS.md")
+
+    serve = sub.add_parser(
+        "serve",
+        parents=[sharding_flags],
+        help="run the durable, admission-controlled simulation daemon",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8177,
+        help="listen port; 0 picks an ephemeral port (use --announce to "
+        "learn it) (default: 8177)",
+    )
+    serve.add_argument(
+        "--journal",
+        default="repro-jobs.jsonl",
+        metavar="WAL",
+        help="write-ahead job journal; restarting against the same file "
+        "resumes every unfinished job (default: repro-jobs.jsonl)",
+    )
+    serve.add_argument(
+        "--cache-dir",
+        default=None,
+        help=f"persistent result cache directory "
+        f"(default: {DEFAULT_CACHE_DIR})",
+    )
+    serve.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the persistent result cache (crash-safe resume "
+        "then re-executes finished cells instead of replaying them)",
+    )
+    serve.add_argument(
+        "--capacity",
+        type=int,
+        default=64,
+        help="bounded queue capacity; beyond it submissions are shed or "
+        "rejected with 503 + Retry-After (default: 64)",
+    )
+    serve.add_argument(
+        "--rate",
+        type=float,
+        default=None,
+        help="per-client token-bucket rate in jobs/second; over-budget "
+        "clients get 429 + Retry-After (default: unlimited)",
+    )
+    serve.add_argument(
+        "--burst",
+        type=float,
+        default=10.0,
+        help="per-client token-bucket burst capacity (default: 10)",
+    )
+    serve.add_argument(
+        "--max-running",
+        type=int,
+        default=1,
+        help="jobs executing concurrently (each may fan cells out "
+        "internally via --jobs) (default: 1)",
+    )
+    serve.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker threads per job's cell matrix (default: 1)",
+    )
+    serve.add_argument(
+        "--executor",
+        choices=("thread", "process", "serial"),
+        default="thread",
+        help="base executor tier; under load jobs degrade "
+        "process->thread->serial automatically (default: thread)",
+    )
+    serve.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        help="per-job wall-clock deadline; the watchdog abandons "
+        "over-budget jobs (default: none)",
+    )
+    serve.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=5.0,
+        help="grace period for running jobs on SIGTERM (default: 5)",
+    )
+    serve.add_argument(
+        "--retries",
+        type=int,
+        default=3,
+        help="max attempts per cell (default: 3)",
+    )
+    serve.add_argument(
+        "--cell-timeout",
+        type=float,
+        default=None,
+        help="per-cell attempt deadline in seconds (default: none)",
+    )
+    serve.add_argument(
+        "--inject",
+        action="append",
+        default=[],
+        metavar="FAULT",
+        help="deterministic fault injection for failure drills, e.g. "
+        "kill-daemon:2, flaky-journal:1:2, queue-overflow:3:5 "
+        "(repeatable)",
+    )
+    serve.add_argument(
+        "--announce",
+        default=None,
+        metavar="PATH",
+        help="write {pid, port, url} JSON here once the daemon is ready",
+    )
+
+    submit = sub.add_parser(
+        "submit", help="submit a job to a running simulation daemon"
+    )
+    submit.add_argument(
+        "--url",
+        default="http://127.0.0.1:8177",
+        help="daemon base URL (default: http://127.0.0.1:8177)",
+    )
+    submit.add_argument(
+        "--algorithms",
+        nargs="+",
+        required=True,
+        choices=algorithm_names(),
+    )
+    submit.add_argument(
+        "--graphs",
+        nargs="+",
+        required=True,
+        help="Table 4 dataset keys, e.g. FR PK RM22",
+    )
+    submit.add_argument("--priority", type=int, default=0)
+    submit.add_argument("--client", default="cli")
+    submit.add_argument(
+        "--wait",
+        action="store_true",
+        help="poll until the job finishes and print its final state",
+    )
+    submit.add_argument(
+        "--timeout",
+        type=float,
+        default=600.0,
+        help="--wait polling budget in seconds (default: 600)",
+    )
+    submit.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        help="with --wait: write the job's canonical RunReport JSON here",
+    )
+
+    jobs_cmd = sub.add_parser(
+        "jobs", help="list or inspect jobs on a running simulation daemon"
+    )
+    jobs_cmd.add_argument(
+        "--url",
+        default="http://127.0.0.1:8177",
+        help="daemon base URL (default: http://127.0.0.1:8177)",
+    )
+    jobs_cmd.add_argument(
+        "job_id",
+        nargs="?",
+        default=None,
+        help="job id to inspect (default: list all jobs)",
+    )
 
     sub.add_parser("backends", help="list registered accelerator backends")
     sub.add_parser("datasets", help="list the Table 4 proxies")
@@ -592,6 +769,116 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .harness.serve import DaemonConfig, SimulationDaemon
+
+    cache_dir: Optional[str]
+    if args.no_cache:
+        cache_dir = None
+    else:
+        cache_dir = args.cache_dir or DEFAULT_CACHE_DIR
+    config = DaemonConfig(
+        host=args.host,
+        port=args.port,
+        journal_path=args.journal,
+        cache_dir=cache_dir,
+        use_cache=not args.no_cache,
+        capacity=args.capacity,
+        rate=args.rate,
+        burst=args.burst,
+        max_running=args.max_running,
+        job_deadline=args.deadline,
+        drain_timeout=args.drain_timeout,
+        executor=args.executor,
+        jobs=args.jobs,
+        storage=args.storage,
+        shards=args.shards,
+        retries=args.retries,
+        cell_timeout=args.cell_timeout,
+        inject=tuple(args.inject),
+        announce=args.announce,
+    )
+    daemon = SimulationDaemon(config)
+    resumed = daemon.stats.resumed
+    daemon.run_forever()
+    print(
+        f"daemon exited cleanly (resumed {resumed} job(s) at startup, "
+        f"completed {daemon.stats.completed})"
+    )
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from .harness.serve import fetch_result, submit_job, wait_for_job
+
+    status, headers, body = submit_job(
+        args.url,
+        args.algorithms,
+        args.graphs,
+        priority=args.priority,
+        client=args.client,
+    )
+    if status != 202 or not isinstance(body, dict):
+        retry = headers.get("Retry-After")
+        hint = f" (Retry-After: {retry}s)" if retry else ""
+        print(f"rejected [{status}]{hint}: {body}", file=sys.stderr)
+        return 1
+    job = body["job"]
+    verb = "coalesced into" if body.get("coalesced") else "accepted as"
+    print(f"{verb} {job['id']} (state: {job['state']})")
+    if not args.wait:
+        return 0
+    final = wait_for_job(args.url, job["id"], timeout=args.timeout)
+    print(f"final state: {final['state']}")
+    if final["state"] != "done":
+        if final.get("error"):
+            print(f"error: {final['error']}", file=sys.stderr)
+        return 1
+    if args.output:
+        status, text = fetch_result(args.url, job["id"])
+        if status != 200:
+            print(f"result fetch failed [{status}]: {text}", file=sys.stderr)
+            return 1
+        with open(args.output, "w") as handle:
+            handle.write(text)
+        print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_jobs(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .harness.serve import http_json
+
+    if args.job_id:
+        status, _, body = http_json(f"{args.url}/v1/jobs/{args.job_id}")
+        print(_json.dumps(body, indent=2, sort_keys=True))
+        return 0 if status == 200 else 1
+    status, _, body = http_json(f"{args.url}/v1/jobs")
+    if status != 200 or not isinstance(body, dict):
+        print(f"daemon error [{status}]: {body}", file=sys.stderr)
+        return 1
+    rows = [
+        [
+            job["id"],
+            job["state"],
+            job["client"],
+            job["priority"],
+            ",".join(job["algorithms"]),
+            ",".join(job["graphs"]),
+        ]
+        for job in body.get("jobs", [])
+    ]
+    print(
+        render_table(
+            ["id", "state", "client", "prio", "algorithms", "graphs"],
+            rows,
+            title=f"daemon jobs ({len(rows)})",
+        )
+    )
+    return 0
+
+
 def _cmd_backends(_: argparse.Namespace) -> int:
     rows = []
     for name in backends.available():
@@ -672,6 +959,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         "compare": _cmd_compare,
         "figure": _cmd_figure,
         "matrix": _cmd_matrix,
+        "serve": _cmd_serve,
+        "submit": _cmd_submit,
+        "jobs": _cmd_jobs,
         "report": _cmd_report,
         "backends": _cmd_backends,
         "datasets": _cmd_datasets,

@@ -20,6 +20,7 @@ import dataclasses
 import hashlib
 import json
 import threading
+import warnings
 from collections import ChainMap
 from typing import Dict, List, Optional, Tuple
 
@@ -47,6 +48,7 @@ __all__ = [
     "available",
     "fingerprint",
     "clear_cache",
+    "SpillCleanupWarning",
 ]
 
 #: Scale-down factor applied to the paper's vertex counts.
@@ -250,6 +252,15 @@ _storages: Dict[Tuple[str, str], GraphStorage] = {}
 _cache_lock = threading.Lock()
 
 
+class SpillCleanupWarning(UserWarning):
+    """clear_cache skipped a spill backend still in use elsewhere."""
+
+
+#: Warn-once latch for :class:`SpillCleanupWarning` (a long-lived daemon
+#: calling clear_cache repeatedly must not spam one warning per sweep).
+_cleanup_warned = False
+
+
 def resolve_key(key: str) -> str:
     """Canonical registry key for ``key`` (case-insensitive, aliases ok).
 
@@ -335,13 +346,37 @@ def clear_cache() -> None:
     directories, so repeated matrix runs can't accumulate open file
     descriptors or temp files.  Registered via :mod:`atexit` as a
     last-resort cleanup.
+
+    Robust by design: a spill that cannot be closed (still mapped by a
+    concurrent worker, already reclaimed, disk error) is *skipped* with
+    a single :class:`SpillCleanupWarning` instead of aborting the sweep
+    mid-cleanup and leaking every backend after the failing one.
+    Orphans skipped here are reclaimed later by
+    :func:`repro.graph.storage.gc_stale_spills` once their owner exits.
     """
+    global _cleanup_warned
     with _cache_lock:
         _cache.clear()
         storages = list(_storages.values())
         _storages.clear()
+    failures = []
     for backend in storages:
-        backend.close()
+        try:
+            backend.close()
+        except Exception as exc:  # noqa: BLE001 - cleanup must finish
+            failures.append((backend, exc))
+    if failures and not _cleanup_warned:
+        _cleanup_warned = True
+        detail = "; ".join(
+            f"{type(b).__name__}({getattr(b, 'directory', '?')}): {e!r}"
+            for b, e in failures
+        )
+        warnings.warn(
+            f"clear_cache skipped {len(failures)} spill backend(s) still "
+            f"in use or unreachable: {detail}",
+            SpillCleanupWarning,
+            stacklevel=2,
+        )
 
 
 atexit.register(clear_cache)

@@ -39,10 +39,12 @@ format change invalidates persistent results instead of misreading them.
 from __future__ import annotations
 
 import abc
+import glob
 import json
 import os
 import shutil
 import tempfile
+import time
 import weakref
 from typing import Callable, Iterable, Iterator, List, Optional, Tuple
 
@@ -59,6 +61,7 @@ __all__ = [
     "MmapStorage",
     "create_storage",
     "assemble_csr",
+    "gc_stale_spills",
     "spill_dir_root",
 ]
 
@@ -73,6 +76,11 @@ SPILL_DIR_ENV = "REPRO_SPILL_DIR"
 
 _SPILL_META = "meta.json"
 _SPILL_MEMBERS = ("offsets", "edges", "weights")
+#: Ownership marker written into every *owned* anonymous spill dir so a
+#: garbage collector can tell live spills (owner pid still running) from
+#: orphans left behind by a killed process.
+_SPILL_OWNER = "owner.json"
+_SPILL_PREFIX = "repro-spill-"
 
 
 class StorageError(RuntimeError):
@@ -158,9 +166,10 @@ class MmapStorage(GraphStorage):
         super().__init__()
         if directory is None:
             directory = tempfile.mkdtemp(
-                prefix="repro-spill-", dir=spill_dir_root()
+                prefix=_SPILL_PREFIX, dir=spill_dir_root()
             )
             self._owned = True
+            _write_spill_owner(directory)
         else:
             os.makedirs(directory, exist_ok=True)
             self._owned = False
@@ -289,6 +298,73 @@ class MmapStorage(GraphStorage):
 def _cleanup_spill(directory: Optional[str]) -> None:
     if directory:
         shutil.rmtree(directory, ignore_errors=True)
+
+
+def _write_spill_owner(directory: str) -> None:
+    payload = {"pid": os.getpid(), "created": time.time()}
+    try:
+        with open(os.path.join(directory, _SPILL_OWNER), "w") as handle:
+            json.dump(payload, handle, sort_keys=True)
+    except OSError:  # ownership marking is best-effort, never fatal
+        pass
+
+
+def _pid_alive(pid: int) -> bool:
+    """True when ``pid`` exists (signal-0 probe; EPERM counts as alive)."""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - other-user process
+        return True
+    except OSError:  # pragma: no cover - exotic platforms
+        return False
+    return True
+
+
+def spill_owner_pid(directory: str) -> Optional[int]:
+    """The pid recorded in a spill's ownership marker, if readable."""
+    try:
+        with open(os.path.join(directory, _SPILL_OWNER)) as handle:
+            return int(json.load(handle)["pid"])
+    except (OSError, ValueError, KeyError, TypeError):
+        return None
+
+
+def gc_stale_spills(
+    root: Optional[str] = None, grace_seconds: float = 60.0
+) -> List[str]:
+    """Remove orphaned ``repro-spill-*`` directories; return what was removed.
+
+    A spill is an *orphan* when its recorded owner pid no longer exists;
+    a spill with no readable owner marker (pre-marker layout, or torn by
+    a kill) is only collected once it has been idle for ``grace_seconds``
+    — never a directory another live process may still be mapping.  The
+    serving daemon calls this at startup so repeated crash/restart
+    cycles cannot leak temp space.
+    """
+    removed: List[str] = []
+    now = time.time()
+    pattern = os.path.join(root or spill_dir_root(), _SPILL_PREFIX + "*")
+    for directory in sorted(glob.glob(pattern)):
+        if not os.path.isdir(directory):
+            continue
+        pid = spill_owner_pid(directory)
+        if pid is not None:
+            if pid == os.getpid() or _pid_alive(pid):
+                continue
+        else:
+            try:
+                age = now - os.path.getmtime(directory)
+            except OSError:
+                continue
+            if age < grace_seconds:
+                continue
+        shutil.rmtree(directory, ignore_errors=True)
+        removed.append(directory)
+    return removed
 
 
 def create_storage(kind: str, **options: object) -> GraphStorage:

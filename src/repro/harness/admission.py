@@ -1,0 +1,272 @@
+"""Admission control for the simulation daemon: bound every resource.
+
+The paper's premise — irregular workloads need explicit load management,
+not best-effort execution — has a software twin in the serving layer: a
+burst of thousands of concurrent matrix submissions must degrade
+*gracefully* (bounded queue, explicit rejections with ``Retry-After``,
+cheaper executors) instead of forking unbounded pools.  Three pieces:
+
+``TokenBucket``
+    Per-client rate limiter with an injectable monotonic clock, so tests
+    drive it deterministically.  ``retry_after`` is the exact time until
+    the next token, which becomes the HTTP ``Retry-After`` header.
+
+``AdmissionController``
+    A bounded priority queue with a deterministic shed policy: when the
+    queue is full, a higher-priority submission evicts the *youngest of
+    the lowest-priority* queued jobs (ties broken by submission order,
+    so a given burst always sheds the same jobs in the same order);
+    an equal-or-lower-priority submission is rejected outright.
+
+``executor_for_load``
+    The load-shedding half of graceful degradation: as queue depth
+    climbs, new jobs run on progressively cheaper executor tiers
+    (process → thread → serial), reusing the same tier ordering the
+    resilience layer degrades through on failure.  Under overload the
+    daemon stops forking process pools entirely.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+import threading
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "TokenBucket",
+    "executor_for_load",
+]
+
+#: Cheapness ordering shared with the resilience layer's degradation.
+_EXECUTOR_TIERS: Tuple[str, ...] = ("process", "thread", "serial")
+
+
+class TokenBucket:
+    """Classic token bucket: ``rate`` tokens/second, ``burst`` capacity.
+
+    ``rate=None`` disables limiting (every acquire succeeds), which is
+    how the daemon spells "no per-client rate limit".
+    """
+
+    def __init__(
+        self,
+        rate: Optional[float],
+        burst: float = 1.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if rate is not None and rate <= 0:
+            raise ValueError("rate must be positive or None")
+        if burst <= 0:
+            raise ValueError("burst must be positive")
+        self.rate = rate
+        self.burst = float(burst)
+        self._clock = clock
+        self._tokens = float(burst)
+        self._stamp = clock()
+
+    def _refill(self, now: float) -> None:
+        if self.rate is None:
+            return
+        elapsed = max(0.0, now - self._stamp)
+        self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+        self._stamp = now
+
+    def try_acquire(self, amount: float = 1.0) -> bool:
+        if self.rate is None:
+            return True
+        now = self._clock()
+        self._refill(now)
+        if self._tokens >= amount:
+            self._tokens -= amount
+            return True
+        return False
+
+    def retry_after(self, amount: float = 1.0) -> float:
+        """Seconds until ``amount`` tokens will be available (>= 0)."""
+        if self.rate is None:
+            return 0.0
+        self._refill(self._clock())
+        deficit = amount - self._tokens
+        return max(0.0, deficit / self.rate)
+
+
+@dataclasses.dataclass(frozen=True)
+class AdmissionDecision:
+    """Outcome of one admission attempt, ready to render as HTTP."""
+
+    accepted: bool
+    status: int  # 202 accepted / 400 invalid / 429 rate / 503 full|draining
+    reason: str = ""
+    retry_after: Optional[float] = None
+    #: Job ids evicted (shed) to make room, in eviction order.
+    shed: Tuple[str, ...] = ()
+
+
+def executor_for_load(
+    base: str, depth: int, capacity: int, running: int = 0
+) -> str:
+    """The executor tier a newly started job should run on.
+
+    Below 50% queue occupancy jobs run on the configured ``base`` tier;
+    from 50% they degrade to ``thread`` (no new process pools); from 85%
+    they degrade to ``serial``.  A job never runs on a tier *more*
+    expensive than ``base``, and the thresholds are computed over queued
+    + running work so a single long job with a deep queue still sheds.
+    """
+    if base not in _EXECUTOR_TIERS:
+        raise ValueError(
+            f"unknown executor {base!r}; expected one of {_EXECUTOR_TIERS}"
+        )
+    if capacity <= 0:
+        return base
+    occupancy = (depth + running) / float(capacity)
+    if occupancy >= 0.85:
+        level = "serial"
+    elif occupancy >= 0.50:
+        level = "thread"
+    else:
+        level = base
+    # Never upgrade past the configured base tier.
+    base_rank = _EXECUTOR_TIERS.index(base)
+    level_rank = _EXECUTOR_TIERS.index(level)
+    return _EXECUTOR_TIERS[max(base_rank, level_rank)]
+
+
+class AdmissionController:
+    """Bounded priority queue + per-client token buckets.
+
+    Thread-safe.  Queue entries are ``(-priority, seq, job)`` so higher
+    priority pops first and FIFO order breaks ties; ``seq`` is assigned
+    by the daemon and is strictly increasing, which is what makes the
+    shed order deterministic.
+
+    Args:
+        capacity: maximum queued (not running) jobs.
+        rate: per-client token-bucket rate (tokens/second); ``None``
+            disables rate limiting.
+        burst: per-client bucket capacity.
+        retry_after_full: ``Retry-After`` hint for queue-full rejections.
+        clock: injectable monotonic clock shared by all buckets.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 64,
+        rate: Optional[float] = None,
+        burst: float = 10.0,
+        retry_after_full: float = 1.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self.rate = rate
+        self.burst = burst
+        self.retry_after_full = retry_after_full
+        self._clock = clock
+        self._heap: List[Tuple[int, int, object]] = []
+        self._buckets: Dict[str, TokenBucket] = {}
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+
+    # ------------------------------------------------------------------
+    # Rate limiting
+    # ------------------------------------------------------------------
+    def _bucket(self, client: str) -> TokenBucket:
+        bucket = self._buckets.get(client)
+        if bucket is None:
+            bucket = TokenBucket(self.rate, self.burst, clock=self._clock)
+            self._buckets[client] = bucket
+        return bucket
+
+    def check_rate(self, client: str) -> Optional[AdmissionDecision]:
+        """None when within budget, else a 429 decision with Retry-After."""
+        with self._lock:
+            bucket = self._bucket(client)
+            if bucket.try_acquire():
+                return None
+            return AdmissionDecision(
+                accepted=False,
+                status=429,
+                reason=f"client {client!r} over rate limit",
+                retry_after=bucket.retry_after(),
+            )
+
+    # ------------------------------------------------------------------
+    # Queue
+    # ------------------------------------------------------------------
+    def offer(self, job, priority: int, seq: int) -> AdmissionDecision:
+        """Enqueue ``job``, shedding a cheaper one if full.
+
+        The shed victim is the *youngest of the lowest-priority* queued
+        jobs, and only when the newcomer's priority is strictly higher;
+        otherwise the newcomer itself is rejected (503).  Either way the
+        outcome for a given submission sequence is deterministic.
+        """
+        with self._not_empty:
+            shed: Tuple[str, ...] = ()
+            if len(self._heap) >= self.capacity:
+                victim = self._shed_candidate(priority)
+                if victim is None:
+                    return AdmissionDecision(
+                        accepted=False,
+                        status=503,
+                        reason=(
+                            f"queue full ({self.capacity} jobs) and "
+                            "priority does not preempt any queued job"
+                        ),
+                        retry_after=self.retry_after_full,
+                    )
+                self._heap.remove(victim)
+                heapq.heapify(self._heap)
+                shed = (victim[2].id,)  # type: ignore[attr-defined]
+            heapq.heappush(self._heap, (-priority, seq, job))
+            self._not_empty.notify()
+            return AdmissionDecision(accepted=True, status=202, shed=shed)
+
+    def _shed_candidate(self, priority: int):
+        """Youngest entry of the lowest queued priority, if preemptable."""
+        if not self._heap:
+            return None
+        lowest = max(entry[0] for entry in self._heap)  # -priority: max=lowest
+        if -lowest >= priority:
+            return None  # newcomer does not strictly outrank anyone
+        return max(
+            (entry for entry in self._heap if entry[0] == lowest),
+            key=lambda entry: entry[1],
+        )
+
+    def pop(self, timeout: Optional[float] = None):
+        """Next job by (priority desc, seq asc), or None on timeout."""
+        with self._not_empty:
+            if not self._heap and timeout:
+                self._not_empty.wait(timeout)
+            if not self._heap:
+                return None
+            return heapq.heappop(self._heap)[2]
+
+    def remove(self, job_id: str) -> bool:
+        """Drop one queued job by id (used by DELETE /v1/jobs/<id>)."""
+        with self._lock:
+            for entry in self._heap:
+                if entry[2].id == job_id:  # type: ignore[attr-defined]
+                    self._heap.remove(entry)
+                    heapq.heapify(self._heap)
+                    return True
+            return False
+
+    def depth(self) -> int:
+        with self._lock:
+            return len(self._heap)
+
+    def queued_ids(self) -> List[str]:
+        """Queued job ids in pop order (for introspection endpoints)."""
+        with self._lock:
+            return [
+                entry[2].id  # type: ignore[attr-defined]
+                for entry in sorted(self._heap)
+            ]

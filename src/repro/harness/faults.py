@@ -28,9 +28,18 @@ every recovery path by an ordinary test:
     ``ProcessPoolExecutor`` workers so faults fire *inside* the worker
     even though the injector's counters live in the parent.
 
+The daemon (:mod:`repro.harness.serve`) adds three daemon-level kinds:
+``kill-daemon:N`` (the *host* process dies with ``os._exit`` when the
+Nth cell starts — a deterministic stand-in for ``kill -9`` mid-matrix),
+``flaky-journal:N:C`` (the Nth distinct journal append fails its first
+C attempts), and ``queue-overflow:N:C`` (submissions N..N+C-1 are
+force-rejected as if the queue were full, driving the backpressure
+path without needing a real burst).
+
 Every injected error type is a subclass of :class:`FaultError` (or
-:class:`FlakyStoreError`, which is an ``OSError`` so the store path
-treats it exactly like a real disk failure).
+:class:`FlakyStoreError`/:class:`FlakyJournalError`, which are
+``OSError`` so the store/journal paths treat them exactly like real
+disk failures).
 """
 
 from __future__ import annotations
@@ -46,6 +55,7 @@ __all__ = [
     "FaultError",
     "FaultInjector",
     "FaultSpec",
+    "FlakyJournalError",
     "FlakyStoreError",
     "InjectedCrashError",
 ]
@@ -63,8 +73,21 @@ class FlakyStoreError(OSError):
     """An injected persistent-cache write failure."""
 
 
-_KINDS = ("crash", "hang", "kill", "flaky-store", "corrupt-cache")
-_CELL_KINDS = ("crash", "hang", "kill")
+class FlakyJournalError(OSError):
+    """An injected job-journal append failure."""
+
+
+_KINDS = (
+    "crash",
+    "hang",
+    "kill",
+    "kill-daemon",
+    "flaky-store",
+    "corrupt-cache",
+    "flaky-journal",
+    "queue-overflow",
+)
+_CELL_KINDS = ("crash", "hang", "kill", "kill-daemon")
 _STORE_KINDS = ("flaky-store", "corrupt-cache")
 
 
@@ -138,11 +161,22 @@ class CellFaultPlan:
     hang_attempts: int = 0
     hang_seconds: float = 0.0
     kill: bool = False
+    #: ``kill-daemon``: the *host* process dies, worker or not — the
+    #: deterministic stand-in for ``kill -9`` of the serving daemon
+    #: mid-matrix (crash-resume tests restart it and assert identity).
+    kill_host: bool = False
 
     def __bool__(self) -> bool:
-        return bool(self.crash_attempts or self.hang_attempts or self.kill)
+        return bool(
+            self.crash_attempts
+            or self.hang_attempts
+            or self.kill
+            or self.kill_host
+        )
 
     def fire(self, attempt: int, in_worker: bool = False) -> None:
+        if self.kill_host and attempt == 1:
+            os._exit(86)  # the whole process dies, exactly like kill -9
         if self.kill and in_worker and attempt == 1:
             os._exit(86)  # hard worker death: parent sees BrokenProcessPool
         if attempt <= self.hang_attempts:
@@ -176,6 +210,8 @@ class FaultInjector:
         self._plans: Dict[Tuple[str, str], CellFaultPlan] = {}
         self._store_index: Dict[str, int] = {}
         self._store_attempts: Dict[str, int] = {}
+        self._journal_index: Dict[str, int] = {}
+        self._admit_count = 0
         self._consumed: set = set()
 
     # ------------------------------------------------------------------
@@ -193,7 +229,7 @@ class FaultInjector:
             )
             crash = hang = 0
             seconds = 0.0
-            kill = False
+            kill = kill_host = False
             for i, spec in enumerate(self.specs):
                 if spec.kind not in _CELL_KINDS or spec.target != index:
                     continue
@@ -207,11 +243,14 @@ class FaultInjector:
                     seconds = max(seconds, spec.seconds)
                 elif spec.kind == "kill":
                     kill = True
+                elif spec.kind == "kill-daemon":
+                    kill_host = True
             plan = CellFaultPlan(
                 crash_attempts=crash,
                 hang_attempts=hang,
                 hang_seconds=seconds,
                 kill=kill,
+                kill_host=kill_host,
             )
             self._plans[key] = plan
             if plan:
@@ -268,6 +307,48 @@ class FaultInjector:
                 handle.seek(0)
                 handle.truncate()
                 handle.write(text[: max(1, len(text) // 2)])
+
+    # ------------------------------------------------------------------
+    # Daemon faults
+    # ------------------------------------------------------------------
+    def on_journal(self, token: str, attempt: int) -> None:
+        """Journal-append hook: ``flaky-journal:N:C`` fails the Nth
+        distinct append (keyed by its event token) for C attempts."""
+        with self._lock:
+            index = self._journal_index.setdefault(
+                token, len(self._journal_index) + 1
+            )
+        for spec in self.specs:
+            if (
+                spec.kind == "flaky-journal"
+                and spec.target == index
+                and attempt <= spec.count
+            ):
+                with self._lock:
+                    self.fired += 1
+                raise FlakyJournalError(
+                    f"injected journal failure for {token!r} "
+                    f"(attempt {attempt}/{spec.count})"
+                )
+
+    def on_admit(self) -> bool:
+        """Submission hook: True when ``queue-overflow`` forces a 503.
+
+        Submissions are numbered 1..N in arrival order; a spec
+        ``queue-overflow:N:C`` rejects submissions N..N+C-1.
+        """
+        with self._lock:
+            self._admit_count += 1
+            index = self._admit_count
+        for spec in self.specs:
+            if (
+                spec.kind == "queue-overflow"
+                and spec.target <= index < spec.target + spec.count
+            ):
+                with self._lock:
+                    self.fired += 1
+                return True
+        return False
 
     # ------------------------------------------------------------------
     @property

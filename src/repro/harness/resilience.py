@@ -59,6 +59,7 @@ from ..obs import get_recorder
 from ..vcpm.algorithms import algorithm_names
 from ..vcpm.partitioned import scatter_shard_task
 from .faults import FaultError, FaultInjector
+from .journal import advisory_lock, locked_append_line
 from .service import (
     REAL_WORLD_KEYS,
     CellExecutionError,
@@ -188,7 +189,10 @@ class RunManifest:
 
     Lines are flushed and fsync'd as cells finish, and :meth:`load`
     tolerates a truncated final line, so a manifest written by a killed
-    sweep resumes cleanly.  The journal is advisory: results themselves
+    sweep resumes cleanly.  Every append holds an advisory
+    ``fcntl.flock`` (see :func:`repro.harness.journal.advisory_lock`),
+    so a daemon worker and a concurrent CLI ``--resume`` sharing one
+    manifest cannot interleave partial lines.  The journal is advisory: results themselves
     live in the persistent cache, so a manifest entry whose cache file
     has vanished merely costs a re-execution, never a wrong answer.
     """
@@ -228,7 +232,10 @@ class RunManifest:
         parent = os.path.dirname(os.path.abspath(path))
         os.makedirs(parent, exist_ok=True)
         with open(path, "w") as handle:
-            handle.write(json.dumps(header, sort_keys=True) + "\n")
+            with advisory_lock(handle):
+                handle.write(json.dumps(header, sort_keys=True) + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
         return manifest
 
     @classmethod
@@ -284,10 +291,7 @@ class RunManifest:
             return
         self.completed[key] = cache_key
         entry = {"cell": [key[0], key[1]], "cache_key": cache_key}
-        with open(self.path, "a") as handle:
-            handle.write(json.dumps(entry, sort_keys=True) + "\n")
-            handle.flush()
-            os.fsync(handle.fileno())
+        locked_append_line(self.path, json.dumps(entry, sort_keys=True))
 
     def mark_shard(
         self, algorithm: str, graph_key: str, shard: int, shards: int
@@ -310,10 +314,7 @@ class RunManifest:
             "shard": int(shard),
             "shards": int(shards),
         }
-        with open(self.path, "a") as handle:
-            handle.write(json.dumps(entry, sort_keys=True) + "\n")
-            handle.flush()
-            os.fsync(handle.fileno())
+        locked_append_line(self.path, json.dumps(entry, sort_keys=True))
 
     def shard_progress(self, algorithm: str, graph_key: str) -> set:
         """Shard indices recorded for one cell (empty when unsharded)."""

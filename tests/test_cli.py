@@ -218,3 +218,114 @@ class TestMatrixCommand:
         assert first.read_bytes() == second.read_bytes()
         out = capsys.readouterr().out
         assert f"checkpoint manifest: {manifest}" in out
+
+
+class TestServeParser:
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8177
+        assert args.journal == "repro-jobs.jsonl"
+        assert args.capacity == 64
+        assert args.rate is None
+        assert args.max_running == 1
+        assert args.executor == "thread"
+        assert args.inject == []
+        assert args.announce is None
+
+    def test_serve_flags_parse(self):
+        args = build_parser().parse_args(
+            ["serve", "--port", "0", "--journal", "w.jsonl",
+             "--capacity", "8", "--rate", "2.5", "--burst", "4",
+             "--max-running", "2", "--executor", "process",
+             "--deadline", "30", "--inject", "kill-daemon:2",
+             "--inject", "queue-overflow:1:1", "--announce", "a.json",
+             "--storage", "mmap", "--shards", "4"]
+        )
+        assert args.port == 0
+        assert args.capacity == 8
+        assert args.rate == 2.5
+        assert args.executor == "process"
+        assert args.inject == ["kill-daemon:2", "queue-overflow:1:1"]
+        assert args.announce == "a.json"
+        assert args.storage == "mmap" and args.shards == 4
+
+    def test_serve_rejects_unknown_executor(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--executor", "gpu"])
+
+    def test_submit_requires_algorithms_and_graphs(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["submit", "--graphs", "FR"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["submit", "--algorithms", "BFS"])
+
+    def test_submit_rejects_unknown_algorithm(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["submit", "--algorithms", "NOPE", "--graphs", "FR"]
+            )
+
+    def test_jobs_optional_id(self):
+        assert build_parser().parse_args(["jobs"]).job_id is None
+        args = build_parser().parse_args(["jobs", "j000001-aaaa"])
+        assert args.job_id == "j000001-aaaa"
+
+
+class TestServeClients:
+    """submit/jobs client commands against an in-process daemon."""
+
+    @pytest.fixture()
+    def daemon(self, tmp_path):
+        from repro.harness.serve import DaemonConfig, SimulationDaemon
+
+        daemon = SimulationDaemon(
+            DaemonConfig(
+                port=0,
+                journal_path=str(tmp_path / "jobs.jsonl"),
+                cache_dir=str(tmp_path / "cache"),
+                poll_interval=0.01,
+                drain_timeout=1.0,
+            )
+        )
+        daemon.start()
+        yield daemon
+        daemon.stop(drain=False)
+
+    def test_submit_wait_writes_result(self, daemon, capsys, tmp_path):
+        out = tmp_path / "result.json"
+        code = main(
+            ["submit", "--url", daemon.base_url,
+             "--algorithms", "BFS", "--graphs", "RM22",
+             "--wait", "--timeout", "90", "-o", str(out)]
+        )
+        assert code == 0
+        captured = capsys.readouterr().out
+        assert "accepted as j" in captured
+        assert "final state: done" in captured
+        assert out.read_text().startswith("[")
+
+    def test_jobs_lists_submitted_job(self, daemon, capsys):
+        assert main(
+            ["submit", "--url", daemon.base_url,
+             "--algorithms", "BFS", "--graphs", "RM22",
+             "--wait", "--timeout", "90"]
+        ) == 0
+        capsys.readouterr()
+        assert main(["jobs", "--url", daemon.base_url]) == 0
+        listing = capsys.readouterr().out
+        assert "done" in listing and "BFS" in listing
+
+    def test_jobs_inspect_unknown_id_fails(self, daemon, capsys):
+        assert main(["jobs", "--url", daemon.base_url, "nope"]) == 1
+
+    def test_submit_rejected_when_draining(self, daemon, capsys):
+        daemon.drain()
+        code = main(
+            ["submit", "--url", daemon.base_url,
+             "--algorithms", "BFS", "--graphs", "FR"]
+        )
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "rejected [503]" in err
+        assert "Retry-After" in err

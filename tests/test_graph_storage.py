@@ -1,7 +1,12 @@
 """Out-of-core storage backend tests (spill, mmap, streamed assembly)."""
 
 import gc
+import json
 import os
+import subprocess
+import sys
+import time
+import warnings
 
 import numpy as np
 import pytest
@@ -19,8 +24,10 @@ from repro.graph.generators import rmat_edge_chunks
 from repro.graph.storage import (
     STORAGE_FORMAT_VERSION,
     SPILL_DIR_ENV,
+    gc_stale_spills,
     iter_edge_blocks,
     spill_dir_root,
+    spill_owner_pid,
 )
 
 
@@ -157,6 +164,89 @@ class TestMmapStorage:
         del storage
         gc.collect()
         assert not os.path.exists(directory)
+
+
+class TestStaleSpillGC:
+    """gc_stale_spills: reclaim orphans, never touch live owners."""
+
+    def _make_spill(self, root, name, pid=None):
+        directory = os.path.join(str(root), f"repro-spill-{name}")
+        os.makedirs(directory)
+        if pid is not None:
+            with open(os.path.join(directory, "owner.json"), "w") as handle:
+                json.dump({"pid": pid, "created": 0.0}, handle)
+        return directory
+
+    def test_dead_owner_is_reclaimed(self, tmp_path):
+        # A reaped child's pid is guaranteed dead.
+        child = subprocess.Popen([sys.executable, "-c", "pass"])
+        child.wait()
+        dead = self._make_spill(tmp_path, "dead", pid=child.pid)
+        removed = gc_stale_spills(root=str(tmp_path))
+        assert removed == [dead]
+        assert not os.path.exists(dead)
+
+    def test_live_owner_is_skipped(self, tmp_path):
+        mine = self._make_spill(tmp_path, "mine", pid=os.getpid())
+        assert gc_stale_spills(root=str(tmp_path)) == []
+        assert os.path.exists(mine)
+
+    def test_markerless_dir_respects_grace_window(self, tmp_path):
+        fresh = self._make_spill(tmp_path, "fresh")
+        assert gc_stale_spills(root=str(tmp_path), grace_seconds=60.0) == []
+        assert os.path.exists(fresh)
+        # Once older than the grace window it is fair game.
+        old = time.time() - 3600
+        os.utime(fresh, (old, old))
+        assert gc_stale_spills(root=str(tmp_path), grace_seconds=60.0) == [
+            fresh
+        ]
+
+    def test_unrelated_dirs_are_never_touched(self, tmp_path):
+        other = tmp_path / "not-a-spill"
+        other.mkdir()
+        assert gc_stale_spills(root=str(tmp_path)) == []
+        assert other.exists()
+
+    def test_owner_marker_written_for_owned_spills(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(SPILL_DIR_ENV, str(tmp_path))
+        with MmapStorage() as storage:
+            # Owned spills (auto-created temp dirs) carry our pid, so a
+            # later gc_stale_spills in this process leaves them alone.
+            assert spill_owner_pid(storage.directory) == os.getpid()
+            assert gc_stale_spills(root=str(tmp_path)) == []
+
+
+class TestClearCacheResilience:
+    """clear_cache skips unclosable spills with a single warning."""
+
+    class _StuckBackend:
+        directory = "/nowhere/stuck"
+
+        def close(self):
+            raise OSError("still mapped elsewhere")
+
+    def _inject_stuck(self, monkeypatch, count=2):
+        from repro.graph.datasets import _storages
+
+        for i in range(count):
+            _storages[("STUCK", f"mmap-{i}")] = self._StuckBackend()
+
+    def test_failures_warn_once_and_do_not_abort(self, monkeypatch):
+        monkeypatch.setattr(datasets, "_cleanup_warned", False)
+        self._inject_stuck(monkeypatch)
+        with pytest.warns(datasets.SpillCleanupWarning, match="2 spill"):
+            datasets.clear_cache()
+        # The latch suppresses repeats on later sweeps.
+        self._inject_stuck(monkeypatch)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            datasets.clear_cache()
+
+    def test_clean_sweep_emits_no_warning(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            datasets.clear_cache()
 
 
 class TestCreateStorage:

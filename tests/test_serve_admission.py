@@ -1,0 +1,193 @@
+"""Admission control: token buckets, bounded queue, shed determinism."""
+
+import dataclasses
+
+import pytest
+
+from repro.harness.admission import (
+    AdmissionController,
+    TokenBucket,
+    executor_for_load,
+)
+
+
+@dataclasses.dataclass
+class FakeJob:
+    id: str
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+# ----------------------------------------------------------------------
+# TokenBucket
+# ----------------------------------------------------------------------
+
+
+class TestTokenBucket:
+    def test_unlimited_when_rate_is_none(self):
+        bucket = TokenBucket(rate=None)
+        assert all(bucket.try_acquire() for _ in range(10_000))
+        assert bucket.retry_after() == 0.0
+
+    def test_burst_then_exhaustion(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=3.0, clock=clock)
+        assert [bucket.try_acquire() for _ in range(4)] == [
+            True, True, True, False,
+        ]
+
+    def test_refill_at_rate(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=1.0, clock=clock)
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+        clock.advance(0.5)  # 2 tokens/s * 0.5 s = 1 token
+        assert bucket.try_acquire()
+
+    def test_retry_after_is_exact(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=4.0, burst=1.0, clock=clock)
+        assert bucket.try_acquire()
+        assert bucket.retry_after() == pytest.approx(0.25)
+        clock.advance(0.1)
+        assert bucket.retry_after() == pytest.approx(0.15)
+
+    def test_refill_caps_at_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=100.0, burst=2.0, clock=clock)
+        clock.advance(60.0)
+        assert [bucket.try_acquire() for _ in range(3)] == [
+            True, True, False,
+        ]
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0.0)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1.0, burst=0.0)
+
+
+# ----------------------------------------------------------------------
+# executor_for_load
+# ----------------------------------------------------------------------
+
+
+class TestExecutorForLoad:
+    def test_light_load_keeps_base(self):
+        assert executor_for_load("process", 10, 100) == "process"
+        assert executor_for_load("thread", 10, 100) == "thread"
+
+    def test_50_percent_degrades_to_thread(self):
+        assert executor_for_load("process", 50, 100) == "thread"
+
+    def test_85_percent_degrades_to_serial(self):
+        assert executor_for_load("process", 85, 100) == "serial"
+        assert executor_for_load("thread", 85, 100) == "serial"
+
+    def test_never_upgrades_past_base(self):
+        # A 'serial' base stays serial even when the queue is empty.
+        assert executor_for_load("serial", 0, 100) == "serial"
+        # A 'thread' base never becomes 'process'.
+        assert executor_for_load("thread", 0, 100) == "thread"
+
+    def test_running_counts_toward_occupancy(self):
+        assert executor_for_load("process", 40, 100, running=10) == "thread"
+        assert executor_for_load("process", 40, 100, running=45) == "serial"
+
+    def test_zero_capacity_keeps_base(self):
+        assert executor_for_load("process", 5, 0) == "process"
+
+    def test_unknown_base_raises(self):
+        with pytest.raises(ValueError):
+            executor_for_load("gpu", 0, 10)
+
+
+# ----------------------------------------------------------------------
+# AdmissionController queue semantics
+# ----------------------------------------------------------------------
+
+
+class TestAdmissionQueue:
+    def test_pop_order_priority_then_fifo(self):
+        ctl = AdmissionController(capacity=10)
+        for seq, (jid, prio) in enumerate(
+            [("a", 0), ("b", 5), ("c", 0), ("d", 5)], start=1
+        ):
+            assert ctl.offer(FakeJob(jid), prio, seq).accepted
+        order = [ctl.pop().id for _ in range(4)]
+        assert order == ["b", "d", "a", "c"]
+
+    def test_queue_full_rejects_equal_priority(self):
+        ctl = AdmissionController(capacity=2, retry_after_full=3.5)
+        assert ctl.offer(FakeJob("a"), 1, 1).accepted
+        assert ctl.offer(FakeJob("b"), 1, 2).accepted
+        decision = ctl.offer(FakeJob("c"), 1, 3)
+        assert not decision.accepted
+        assert decision.status == 503
+        assert decision.retry_after == 3.5
+        assert ctl.depth() == 2
+
+    def test_higher_priority_sheds_youngest_of_lowest(self):
+        ctl = AdmissionController(capacity=3)
+        ctl.offer(FakeJob("old-low"), 0, 1)
+        ctl.offer(FakeJob("mid"), 2, 2)
+        ctl.offer(FakeJob("young-low"), 0, 3)
+        decision = ctl.offer(FakeJob("vip"), 5, 4)
+        assert decision.accepted
+        assert decision.shed == ("young-low",)
+        assert ctl.depth() == 3
+        assert ctl.queued_ids() == ["vip", "mid", "old-low"]
+
+    def test_shed_order_is_deterministic(self):
+        """The same overload sequence sheds the same ids in the same order."""
+
+        def run_burst():
+            ctl = AdmissionController(capacity=2)
+            shed = []
+            plan = [("a", 0), ("b", 0), ("c", 1), ("d", 2), ("e", 3)]
+            for seq, (jid, prio) in enumerate(plan, start=1):
+                decision = ctl.offer(FakeJob(jid), prio, seq)
+                shed.extend(decision.shed)
+            return shed, ctl.queued_ids()
+
+        first = run_burst()
+        assert first == run_burst() == run_burst()
+        # c preempts b (youngest of lowest prio 0), d preempts a (last
+        # prio-0 entry), e preempts c (now the youngest of lowest).
+        assert first == (["b", "a", "c"], ["e", "d"])
+
+    def test_remove_queued_job(self):
+        ctl = AdmissionController(capacity=4)
+        ctl.offer(FakeJob("a"), 0, 1)
+        ctl.offer(FakeJob("b"), 0, 2)
+        assert ctl.remove("a")
+        assert not ctl.remove("a")
+        assert ctl.queued_ids() == ["b"]
+
+    def test_pop_timeout_returns_none(self):
+        ctl = AdmissionController(capacity=2)
+        assert ctl.pop(timeout=0.01) is None
+
+    def test_rate_limit_per_client(self):
+        clock = FakeClock()
+        ctl = AdmissionController(capacity=4, rate=1.0, burst=2.0, clock=clock)
+        assert ctl.check_rate("alice") is None
+        assert ctl.check_rate("alice") is None
+        decision = ctl.check_rate("alice")
+        assert decision is not None and decision.status == 429
+        assert decision.retry_after == pytest.approx(1.0)
+        # A different client has its own bucket.
+        assert ctl.check_rate("bob") is None
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            AdmissionController(capacity=0)

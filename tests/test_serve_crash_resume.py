@@ -1,0 +1,303 @@
+"""Daemon fault battery: kill -9 resume identity, 1000-way coalescing,
+deterministic shed order under overload.
+
+These are the acceptance tests of the serving layer:
+
+* a daemon hard-killed mid-matrix (``kill-daemon:N`` makes the host
+  ``os._exit(86)`` at the Nth cell start — a deterministic ``kill -9``)
+  restarts, resumes the journaled job, and produces reports
+  **byte-identical** to an uninterrupted run;
+* 1000 identical submissions while the first is in flight execute the
+  underlying matrix exactly once (coalesce counter == 999);
+* an overload burst sheds jobs in a deterministic, priority-respecting
+  order.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+from repro.harness.serve import (
+    DaemonConfig,
+    SimulationDaemon,
+    fetch_result,
+    http_json,
+    submit_job,
+    wait_for_job,
+)
+from repro.harness.service import CacheStats
+
+_SRC = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), "..", "src")
+)
+
+
+def _start_daemon(workdir, inject=()):
+    """Launch ``repro serve`` on an ephemeral port; return (proc, url)."""
+    announce = os.path.join(workdir, "announce.json")
+    if os.path.exists(announce):
+        os.remove(announce)
+    cmd = [
+        sys.executable, "-m", "repro", "serve",
+        "--port", "0",
+        "--journal", os.path.join(workdir, "jobs.jsonl"),
+        "--cache-dir", os.path.join(workdir, "cache"),
+        "--announce", announce,
+        "--drain-timeout", "1",
+    ]
+    for fault in inject:
+        cmd += ["--inject", fault]
+    env = dict(os.environ, PYTHONPATH=_SRC)
+    proc = subprocess.Popen(
+        cmd, env=env, cwd=workdir,
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+    )
+    deadline = time.monotonic() + 30
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            raise RuntimeError(
+                f"daemon exited early: {proc.stdout.read().decode()}"
+            )
+        if os.path.exists(announce):
+            try:
+                with open(announce) as handle:
+                    return proc, json.load(handle)["url"]
+            except (ValueError, KeyError):
+                pass  # torn announce write; retry
+        time.sleep(0.05)
+    proc.kill()
+    raise RuntimeError("daemon never announced its port")
+
+
+def _terminate(proc):
+    if proc.poll() is None:
+        proc.send_signal(signal.SIGTERM)
+        try:
+            proc.wait(timeout=15)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            proc.wait(timeout=5)
+
+
+class TestKillDaemonResume:
+    def test_hard_kill_mid_matrix_resumes_byte_identical(self, tmp_path):
+        """kill -9 between cells, restart, byte-identical reports."""
+        workdir = str(tmp_path)
+
+        # Uninterrupted baseline (its own cache so nothing is shared).
+        baseline_dir = os.path.join(workdir, "baseline")
+        os.makedirs(baseline_dir)
+        proc, url = _start_daemon(baseline_dir)
+        try:
+            _, _, body = submit_job(url, ["BFS", "CC"], ["RM22"], client="t")
+            job_id = body["job"]["id"]
+            assert wait_for_job(url, job_id, timeout=90)["state"] == "done"
+            status, baseline = fetch_result(url, job_id)
+            assert status == 200
+        finally:
+            _terminate(proc)
+
+        # Interrupted run: the host process dies at the 2nd cell start.
+        crash_dir = os.path.join(workdir, "crash")
+        os.makedirs(crash_dir)
+        proc, url = _start_daemon(crash_dir, inject=("kill-daemon:2",))
+        _, _, body = submit_job(url, ["BFS", "CC"], ["RM22"], client="t")
+        job_id = body["job"]["id"]
+        assert proc.wait(timeout=60) == 86  # died mid-matrix, no drain
+
+        # Restart against the same journal + cache: the job resumes
+        # (journal has submit+start but no terminal event), finished
+        # cells replay from the persistent cache, and the final reports
+        # are byte-identical to the uninterrupted baseline.
+        proc, url = _start_daemon(crash_dir)
+        try:
+            status, _, stats = http_json(url + "/v1/stats")
+            assert stats["resumed"] == 1
+            final = wait_for_job(url, job_id, timeout=90)
+            assert final["state"] == "done"
+            assert final["resumed"] is True
+            status, resumed = fetch_result(url, job_id)
+            assert status == 200
+            assert resumed == baseline
+        finally:
+            _terminate(proc)
+
+    def test_sigterm_drains_and_journal_replays_clean(self, tmp_path):
+        """A SIGTERM'd daemon leaves a journal the next boot fully folds."""
+        workdir = str(tmp_path)
+        proc, url = _start_daemon(workdir)
+        _, _, body = submit_job(url, ["BFS"], ["RM22"])
+        assert wait_for_job(url, body["job"]["id"], timeout=90)["state"] == "done"
+        _terminate(proc)
+        assert proc.returncode == 0
+
+        proc, url = _start_daemon(workdir)
+        try:
+            _, _, stats = http_json(url + "/v1/stats")
+            assert stats["resumed"] == 0  # nothing was unfinished
+            _, _, jobs = http_json(url + "/v1/jobs")
+            assert [j["state"] for j in jobs["jobs"]] == ["done"]
+        finally:
+            _terminate(proc)
+
+
+class _BlockingService:
+    """matrix() blocks until released; counts executions."""
+
+    def __init__(self):
+        self.release = threading.Event()
+        self.started = threading.Event()
+        self.executions = 0
+        self.stats = CacheStats()
+        self._lock = threading.Lock()
+
+    def request_for(self, algorithm, graph_key):
+        return (algorithm.upper(), graph_key)
+
+    def cache_key(self, request):
+        return f"{request[0]}|{request[1]}"
+
+    def matrix(self, algorithms, graph_keys, jobs=None, executor=None):
+        with self._lock:
+            self.executions += 1
+        self.started.set()
+        if not self.release.wait(timeout=60):
+            raise TimeoutError("never released")
+        return []
+
+
+class TestMassCoalescing:
+    def test_1000_duplicate_submissions_execute_once(self, tmp_path):
+        """N identical in-flight submissions -> one execution, N-1 coalesced."""
+        service = _BlockingService()
+        daemon = SimulationDaemon(
+            DaemonConfig(
+                port=0,
+                journal_path=str(tmp_path / "jobs.jsonl"),
+                capacity=8,
+                poll_interval=0.01,
+            ),
+            service=service,
+        )
+        daemon.start()
+        try:
+            spec = {"algorithms": ["BFS"], "graphs": ["FR"]}
+            primary, decision = daemon.submit(spec, client="c0")
+            assert decision.accepted
+            assert service.started.wait(timeout=10)
+
+            errors = []
+
+            def burst(worker, count):
+                for i in range(count):
+                    job, decision = daemon.submit(
+                        spec, client=f"w{worker}-{i}"
+                    )
+                    if (
+                        job is None
+                        or decision.reason != "coalesced"
+                        or job.coalesced_with != primary.id
+                    ):
+                        errors.append((worker, i, decision))
+
+            threads = [
+                threading.Thread(target=burst, args=(w, 111))
+                for w in range(9)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=60)
+            assert not errors
+
+            service.release.set()
+            deadline = time.monotonic() + 30
+            while daemon.get_job(primary.id).state != "done":
+                assert time.monotonic() < deadline
+                time.sleep(0.01)
+
+            assert service.executions == 1  # the cell ran exactly once
+            assert daemon.stats.coalesced == 999
+            assert daemon.stats.admitted == 1
+            # Every attached job observes the primary's terminal state.
+            done = [
+                job for job in daemon.jobs_dict() if job["state"] == "done"
+            ]
+            assert len(done) == 1000
+        finally:
+            service.release.set()
+            daemon.stop(drain=False)
+
+
+class TestOverloadShedOrder:
+    def test_shed_order_is_deterministic_under_burst(self, tmp_path):
+        """The same overload sequence sheds the same jobs, twice over."""
+
+        def run_once():
+            service = _BlockingService()
+            daemon = SimulationDaemon(
+                DaemonConfig(
+                    port=0,
+                    journal_path=str(
+                        tmp_path / f"jobs-{time.monotonic_ns()}.jsonl"
+                    ),
+                    capacity=2,
+                    poll_interval=0.01,
+                ),
+                service=service,
+            )
+            daemon.start()
+            try:
+                # Distinct specs so nothing coalesces; the first job
+                # occupies the single run slot, the rest queue.
+                blocker, _ = daemon.submit(
+                    {"algorithms": ["BFS"], "graphs": ["FR"]}, priority=9
+                )
+                assert service.started.wait(timeout=10)
+                plan = [
+                    (["CC"], 0), (["PR"], 0), (["SSSP"], 1), (["SSWP"], 2),
+                ]
+                outcomes = []
+                for algorithms, priority in plan:
+                    job, decision = daemon.submit(
+                        {"algorithms": algorithms, "graphs": ["FR"]},
+                        priority=priority,
+                    )
+                    outcomes.append(
+                        (
+                            algorithms[0],
+                            decision.status,
+                            tuple(
+                                daemon.get_job(jid).spec.algorithms[0]
+                                for jid in decision.shed
+                            ),
+                        )
+                    )
+                shed_states = sorted(
+                    job["algorithms"][0]
+                    for job in daemon.jobs_dict()
+                    if job["state"] == "shed"
+                )
+                return outcomes, shed_states, daemon.stats.shed
+            finally:
+                service.release.set()
+                daemon.stop(drain=False)
+
+        first = run_once()
+        second = run_once()
+        assert first == second
+        outcomes, shed_states, shed_count = first
+        # CC and PR fill the queue; SSSP (prio 1) evicts PR (youngest of
+        # the lowest priority); SSWP (prio 2) evicts CC.
+        assert outcomes == [
+            ("CC", 202, ()),
+            ("PR", 202, ()),
+            ("SSSP", 202, ("PR",)),
+            ("SSWP", 202, ("CC",)),
+        ]
+        assert shed_states == ["CC", "PR"]
+        assert shed_count == 2

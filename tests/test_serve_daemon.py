@@ -1,0 +1,335 @@
+"""The simulation daemon over HTTP: submit/poll, coalescing, backpressure.
+
+Every test runs an in-process daemon on an ephemeral port.  Real-service
+tests use the cheapest cell (BFS on the RM22 proxy); scheduling tests
+substitute a stub service whose ``matrix`` blocks on an event, so queue
+states are reached deterministically instead of by racing timers.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.harness.serve import (
+    DaemonConfig,
+    JobSpec,
+    SimulationDaemon,
+    fetch_result,
+    http_json,
+    submit_job,
+    wait_for_job,
+)
+from repro.harness.service import CacheStats
+
+
+class StubService:
+    """Run-service stand-in: blocks in matrix() until released."""
+
+    def __init__(self):
+        self.release = threading.Event()
+        self.started = threading.Event()
+        self.executions = 0
+        self.stats = CacheStats()
+        self._lock = threading.Lock()
+
+    def request_for(self, algorithm, graph_key):
+        return (algorithm.upper(), graph_key)
+
+    def cache_key(self, request):
+        return f"{request[0]}|{request[1]}"
+
+    def matrix(self, algorithms, graph_keys, jobs=None, executor=None):
+        with self._lock:
+            self.executions += 1
+        self.started.set()
+        if not self.release.wait(timeout=30):
+            raise TimeoutError("stub never released")
+        return []
+
+
+def make_daemon(tmp_path, service=None, **overrides):
+    config = DaemonConfig(
+        port=0,
+        journal_path=str(tmp_path / "jobs.jsonl"),
+        cache_dir=str(tmp_path / "cache"),
+        drain_timeout=1.0,
+        poll_interval=0.01,
+        **overrides,
+    )
+    daemon = SimulationDaemon(config, service=service)
+    daemon.start()
+    return daemon
+
+
+@pytest.fixture()
+def stub_daemon(tmp_path):
+    service = StubService()
+    daemon = make_daemon(tmp_path, service=service, capacity=4)
+    yield daemon, service
+    service.release.set()
+    daemon.stop(drain=False)
+
+
+# ----------------------------------------------------------------------
+# Core HTTP surface
+# ----------------------------------------------------------------------
+
+
+class TestHTTPSurface:
+    def test_submit_poll_result_roundtrip(self, tmp_path):
+        daemon = make_daemon(tmp_path)
+        try:
+            url = daemon.base_url
+            status, _, body = submit_job(url, ["BFS"], ["RM22"], client="t")
+            assert status == 202
+            job_id = body["job"]["id"]
+            final = wait_for_job(url, job_id, timeout=60)
+            assert final["state"] == "done"
+            assert final["result_digest"]
+            status, text = fetch_result(url, job_id)
+            assert status == 200 and text.startswith("[")
+        finally:
+            daemon.stop(drain=False)
+
+    def test_health_ready_stats_and_errors(self, stub_daemon):
+        daemon, _ = stub_daemon
+        url = daemon.base_url
+        assert http_json(url + "/healthz")[0] == 200
+        assert http_json(url + "/readyz")[0] == 200
+        status, _, stats = http_json(url + "/v1/stats")
+        assert status == 200 and stats["accepting"] is True
+        assert http_json(url + "/v1/jobs/nope")[0] == 404
+        assert http_json(url + "/no/such/route")[0] == 404
+
+    def test_invalid_specs_get_400(self, stub_daemon):
+        daemon, _ = stub_daemon
+        url = daemon.base_url + "/v1/jobs"
+        cases = [
+            {},
+            {"algorithms": [], "graphs": ["FR"]},
+            {"algorithms": ["BFS"], "graphs": ["NOPE"]},
+            {"algorithms": ["NOPE"], "graphs": ["FR"]},
+        ]
+        for payload in cases:
+            status, _, body = http_json(url, method="POST", payload=payload)
+            assert status == 400, payload
+            assert "error" in body
+        assert daemon.stats.rejected_invalid == len(cases)
+
+    def test_result_of_unfinished_job_is_409(self, stub_daemon):
+        daemon, service = stub_daemon
+        url = daemon.base_url
+        _, _, body = submit_job(url, ["BFS"], ["FR"])
+        status, _, error = http_json(
+            f"{url}/v1/jobs/{body['job']['id']}/result"
+        )
+        assert status == 409
+        assert error["state"] in ("queued", "running")
+
+
+# ----------------------------------------------------------------------
+# Coalescing
+# ----------------------------------------------------------------------
+
+
+class TestCoalescing:
+    def test_identical_inflight_submissions_attach(self, stub_daemon):
+        daemon, service = stub_daemon
+        url = daemon.base_url
+        _, _, first = submit_job(url, ["BFS"], ["FR"], client="a")
+        assert service.started.wait(timeout=10)
+        statuses = [
+            submit_job(url, ["BFS"], ["FR"], client=f"c{i}") for i in range(5)
+        ]
+        for status, _, body in statuses:
+            assert status == 202
+            assert body["coalesced"] is True
+            assert body["job"]["coalesced_with"] == first["job"]["id"]
+        service.release.set()
+        final = wait_for_job(url, first["job"]["id"], timeout=30)
+        assert final["state"] == "done"
+        # Attached jobs mirror the primary and resolve the same result.
+        for _, _, body in statuses:
+            mirrored = wait_for_job(url, body["job"]["id"], timeout=10)
+            assert mirrored["state"] == "done"
+        assert service.executions == 1
+        assert daemon.stats.coalesced == 5
+
+    def test_different_specs_do_not_coalesce(self, stub_daemon):
+        daemon, service = stub_daemon
+        url = daemon.base_url
+        submit_job(url, ["BFS"], ["FR"])
+        _, _, other = submit_job(url, ["CC"], ["FR"])
+        assert other["coalesced"] is False
+        assert daemon.stats.coalesced == 0
+
+    def test_order_insensitive_job_key(self, stub_daemon):
+        daemon, _ = stub_daemon
+        # (BFS,CC) and (CC,BFS) expand to the same cell set.
+        key1 = daemon.job_key(JobSpec(algorithms=("BFS", "CC"), graphs=("FR",)))
+        key2 = daemon.job_key(JobSpec(algorithms=("CC", "BFS"), graphs=("FR",)))
+        assert key1 == key2
+
+
+# ----------------------------------------------------------------------
+# Backpressure
+# ----------------------------------------------------------------------
+
+
+class TestBackpressure:
+    def test_rate_limited_client_gets_429_with_retry_after(self, tmp_path):
+        service = StubService()
+        daemon = make_daemon(
+            tmp_path, service=service, rate=1.0, burst=2.0, capacity=16
+        )
+        try:
+            url = daemon.base_url
+            results = [
+                submit_job(url, ["BFS"], ["FR"], client="greedy")
+                for _ in range(4)
+            ]
+            codes = [status for status, _, _ in results]
+            assert codes.count(202) == 2
+            assert codes.count(429) == 2
+            for status, headers, _ in results:
+                if status == 429:
+                    assert float(headers["Retry-After"]) > 0
+            # Another client is unaffected by greedy's empty bucket.
+            status, _, _ = submit_job(url, ["BFS"], ["FR"], client="calm")
+            assert status == 202
+            assert daemon.stats.rejected_rate_limited == 2
+        finally:
+            service.release.set()
+            daemon.stop(drain=False)
+
+    def test_queue_full_gets_503_with_retry_after(self, tmp_path):
+        service = StubService()
+        daemon = make_daemon(
+            tmp_path, service=service, capacity=2, retry_after_full=2.5
+        )
+        try:
+            url = daemon.base_url
+            # One running (pops immediately) + two queued fills capacity;
+            # distinct specs so nothing coalesces.
+            specs = [["BFS"], ["CC"], ["PR"], ["SSSP"]]
+            codes = []
+            for algo in specs:
+                status, headers, _ = submit_job(url, algo, ["FR"])
+                codes.append((status, headers.get("Retry-After")))
+                if algo == ["BFS"]:
+                    assert service.started.wait(timeout=10)
+            assert [c for c, _ in codes].count(202) == 3
+            rejected = [c for c in codes if c[0] == 503]
+            assert len(rejected) == 1
+            assert float(rejected[0][1]) == 2.5
+            assert daemon.stats.rejected_queue_full == 1
+        finally:
+            service.release.set()
+            daemon.stop(drain=False)
+
+    def test_injected_queue_overflow_forces_503(self, tmp_path):
+        service = StubService()
+        daemon = make_daemon(
+            tmp_path,
+            service=service,
+            capacity=64,
+            inject=("queue-overflow:2:2",),
+        )
+        try:
+            url = daemon.base_url
+            codes = [
+                submit_job(url, [algo], ["FR"])[0]
+                for algo in ("BFS", "CC", "PR", "SSSP")
+            ]
+            # Submissions 2 and 3 are force-rejected, deterministically.
+            assert codes == [202, 503, 503, 202]
+        finally:
+            service.release.set()
+            daemon.stop(drain=False)
+
+
+# ----------------------------------------------------------------------
+# Lifecycle
+# ----------------------------------------------------------------------
+
+
+class TestLifecycle:
+    def test_drain_stops_admission_but_keeps_status(self, stub_daemon):
+        daemon, service = stub_daemon
+        url = daemon.base_url
+        _, _, body = submit_job(url, ["BFS"], ["FR"])
+        status, _, _ = http_json(url + "/v1/drain", method="POST")
+        assert status == 202
+        assert http_json(url + "/readyz")[0] == 503
+        status, headers, _ = submit_job(url, ["CC"], ["FR"])
+        assert status == 503 and "Retry-After" in headers
+        # Status endpoints still serve while draining.
+        assert http_json(f"{url}/v1/jobs/{body['job']['id']}")[0] == 200
+        assert daemon.stats.rejected_draining == 1
+
+    def test_cancel_queued_job(self, stub_daemon):
+        daemon, service = stub_daemon
+        url = daemon.base_url
+        submit_job(url, ["BFS"], ["FR"])  # occupies the single slot
+        assert service.started.wait(timeout=10)
+        _, _, queued = submit_job(url, ["CC"], ["FR"])
+        job_id = queued["job"]["id"]
+        status, _, _ = http_json(f"{url}/v1/jobs/{job_id}", method="DELETE")
+        assert status == 200
+        status, _, body = http_json(f"{url}/v1/jobs/{job_id}")
+        assert body["state"] == "cancelled"
+        # Cancelling again conflicts.
+        assert http_json(f"{url}/v1/jobs/{job_id}", method="DELETE")[0] == 409
+
+    def test_watchdog_abandons_over_deadline_job(self, tmp_path):
+        service = StubService()
+        daemon = make_daemon(
+            tmp_path, service=service, job_deadline=0.2, capacity=4
+        )
+        try:
+            url = daemon.base_url
+            _, _, body = submit_job(url, ["BFS"], ["FR"])
+            final = wait_for_job(url, body["job"]["id"], timeout=15)
+            assert final["state"] == "failed"
+            assert "deadline" in final["error"]
+            assert daemon.stats.timeouts == 1
+        finally:
+            service.release.set()
+            daemon.stop(drain=False)
+
+    def test_stop_journals_shutdown_event(self, tmp_path):
+        daemon = make_daemon(tmp_path)
+        daemon.stop()
+        with open(daemon.journal.path) as handle:
+            events = [line for line in handle.read().splitlines()]
+        assert any('"shutdown"' in line for line in events)
+
+    def test_executor_degrades_under_queue_pressure(self, tmp_path):
+        service = StubService()
+        daemon = make_daemon(
+            tmp_path, service=service, capacity=4, executor="process"
+        )
+        try:
+            url = daemon.base_url
+            submit_job(url, ["BFS"], ["FR"])
+            assert service.started.wait(timeout=10)
+            # Queue 3 more: when they start, depth + running >= 50% of
+            # capacity, so they degrade process -> thread.
+            for algo in ("CC", "PR", "SSSP"):
+                assert submit_job(url, [algo], ["FR"])[0] == 202
+            service.release.set()
+            deadline = time.monotonic() + 20
+            while daemon.stats.completed < 4:
+                assert time.monotonic() < deadline
+                time.sleep(0.02)
+            assert daemon.stats.degraded_executor >= 1
+            degraded = [
+                job for job in daemon.jobs_dict() if job["executor"] != "process"
+            ]
+            assert degraded and all(
+                job["executor"] in ("thread", "serial") for job in degraded
+            )
+        finally:
+            service.release.set()
+            daemon.stop(drain=False)
