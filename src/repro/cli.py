@@ -135,6 +135,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="destination-contiguous shards for the Scatter phase; "
         "results are byte-identical to --shards 1 (default: 1)",
     )
+    sharding_flags.add_argument(
+        "--kernel-tier",
+        choices=("auto", "scalar", "vectorized", "compiled"),
+        default="auto",
+        help="kernel tier for the hot loops: 'scalar' (pure-Python "
+        "references), 'vectorized' (numpy closed forms), 'compiled' "
+        "(native numba/cffi kernels; falls back to vectorized with a "
+        "warning when unavailable); 'auto' picks the best available. "
+        "Results are byte-identical across tiers (default: auto)",
+    )
     service_flags = argparse.ArgumentParser(
         add_help=False, parents=[service_flags, sharding_flags]
     )
@@ -498,6 +508,7 @@ def _suite_from_args(args: argparse.Namespace) -> ExperimentSuite:
         executor=args.executor,
         storage=args.storage,
         shards=args.shards,
+        kernel_tier=args.kernel_tier,
     )
 
 
@@ -527,12 +538,13 @@ def _profiled(fn: Callable[[], int]) -> int:
 
 
 def _cmd_run_body(args: argparse.Namespace) -> int:
+    from .kernels.tiers import use_tier
     from .obs import NULL_RECORDER, TraceRecorder, use_recorder
 
     graph = datasets.load(args.graph, storage=args.storage)
     backend = backends.create(args.system)
     recorder = TraceRecorder() if args.obs else NULL_RECORDER
-    with use_recorder(recorder):
+    with use_recorder(recorder), use_tier(args.kernel_tier) as kernel_tier:
         result, report = backend.run(
             graph,
             get_algorithm(args.algo),
@@ -553,6 +565,7 @@ def _cmd_run_body(args: argparse.Namespace) -> int:
                 ["graph", f"{args.graph} (V={graph.num_vertices:,}, E={graph.num_edges:,})"],
                 ["iterations", report.iterations],
                 ["converged", result.converged],
+                ["kernel tier", kernel_tier],
                 ["modeled cycles", f"{report.cycles:,.0f}"],
                 ["time (us)", f"{report.seconds * 1e6:.1f}"],
                 ["GTEPS", f"{report.gteps:.2f}"],
@@ -571,11 +584,13 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     from .obs import TraceRecorder, use_recorder
     from .obs.export import stats_rows, to_jsonl, write_chrome_trace
 
+    from .kernels.tiers import use_tier
+
     spec = get_algorithm(args.algo)  # raises on unknown, case-insensitive
     graph = datasets.load(args.graph, storage=args.storage)
     backend = backends.create(args.system)
     recorder = TraceRecorder()
-    with use_recorder(recorder):
+    with use_recorder(recorder), use_tier(args.kernel_tier):
         result, report = backend.run(
             graph, spec, source=args.source, shards=args.shards
         )
@@ -709,6 +724,7 @@ def _cmd_matrix(args: argparse.Namespace) -> int:
         executor=args.executor,
         storage=args.storage,
         shards=args.shards,
+        kernel_tier=args.kernel_tier,
         resilience=RetryPolicy(
             max_attempts=max(args.retries, 1),
             backoff_base=args.backoff,
@@ -793,6 +809,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         storage=args.storage,
         shards=args.shards,
+        kernel_tier=args.kernel_tier,
         retries=args.retries,
         cell_timeout=args.cell_timeout,
         inject=tuple(args.inject),

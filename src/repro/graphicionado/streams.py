@@ -142,15 +142,28 @@ class GraphicionadoStreams:
                     edges_processed += 1
 
             # --- Reduce engines: stall-on-conflict pipelines ---
+            # Tier-routed: the scalar pipeline is the reference; the
+            # vectorized/compiled kernels are bit-identical (oracle-
+            # checked) renderings of the same recurrence + fold.
+            from ..kernels.tiers import active_tier
+
+            tier = active_tier()
             for ops in per_engine_ops:
                 if not ops:
                     continue
-                pipeline = StallingReducePipeline(spec.reduce_op)
                 seeded = {
                     addr: t_prop.get(addr, spec.reduce_op.identity)
                     for addr, _ in ops
                 }
-                outcome = pipeline.run(ops, seeded)
+                if tier == "scalar":
+                    outcome = StallingReducePipeline(spec.reduce_op).run(ops, seeded)
+                else:
+                    from ..kernels.reduce import split_ops, stalling_run
+
+                    addrs, values = split_ops(ops)
+                    outcome = stalling_run(
+                        addrs, values, spec.reduce_op, vb=seeded, tier=tier
+                    )
                 stall_cycles += outcome.stall_cycles
                 t_prop.update(outcome.vb)
 

@@ -356,6 +356,7 @@ def _resilient_cell_worker(
     max_attempts: int,
     storage: str = "memory",
     shards: int = 1,
+    kernel_tier: str = "auto",
 ) -> Tuple[CellResult, int]:
     """Process-pool entry point: fault hooks + retries inside the worker.
 
@@ -371,7 +372,8 @@ def _resilient_cell_worker(
             if plan is not None:
                 plan.fire(attempt, in_worker=True)
             cell = _cell_in_subprocess(
-                backends, algorithm, graph_key, source, storage, shards
+                backends, algorithm, graph_key, source, storage, shards,
+                kernel_tier,
             )
             return cell, attempt
         except FaultError:
@@ -706,6 +708,7 @@ class ResilientRunService(RunService):
                         self.policy.max_attempts,
                         request.storage,
                         request.shards,
+                        request.kernel_tier,
                     ),
                     algorithm,
                     graph_key,

@@ -1,0 +1,301 @@
+"""cffi + system-C-compiler provider for the compiled kernel tier.
+
+Builds a small C extension at first use (API mode, ``-O2``, no
+fast-math so IEEE-double semantics match the scalar references bit for
+bit) and caches the resulting ``.so`` on disk keyed by a content hash of
+the C source, so every later process pays only a dlopen.  The C loops
+are line-for-line translations of :mod:`repro.kernels._kernels_py` --
+read that module for the commented reference semantics.
+
+Cache location: ``$REPRO_COMPILE_CACHE`` if set, else
+``~/.cache/repro/compiled``.  Builds land in a per-pid scratch dir and
+are moved into place with ``os.replace`` so concurrent builders
+(process-pool workers, parallel test runs) race benignly.
+
+Import of this module never raises on a missing compiler/cffi -- call
+:func:`load` and handle ``None``; the tier registry turns that into a
+warn-once fallback.
+"""
+
+from __future__ import annotations
+
+import glob
+import hashlib
+import importlib.util
+import os
+import shutil
+import sys
+from typing import Optional
+
+_CDEF = """
+long long repro_stalling_reduce(
+    const long long *addrs, const double *values, long long n,
+    const long long *vb_addrs, const double *vb_vals, long long n_vb,
+    int opcode, double identity,
+    long long *out_addrs, double *out_vals,
+    long long *out_cycles, long long *out_stalls);
+int repro_micro_drain(
+    const long long *ue, long long total,
+    const long long *offsets, long long n_streams,
+    long long n_simt, long long num_ues, long long depth,
+    long long max_cycles, long long *out);
+long long repro_alg2_scatter(
+    const long long *offsets, const long long *edges, const double *weights,
+    const long long *active, long long n_active,
+    const double *prop, double *t_prop,
+    int pe_kind, int fold_kind);
+long long repro_alg2_apply(
+    double *prop, const double *t_prop, const double *c_prop, long long n,
+    int apply_kind, double alpha, double beta, unsigned char *changed_mask);
+"""
+
+_SOURCE = r"""
+#include <stdint.h>
+#include <stdlib.h>
+
+/* Open-addressing table slot states. */
+#define SLOT_EMPTY 0u
+#define SLOT_SEEDED 1u
+#define SLOT_TOUCHED 2u
+
+long long repro_stalling_reduce(
+    const long long *addrs, const double *values, long long n,
+    const long long *vb_addrs, const double *vb_vals, long long n_vb,
+    int opcode, double identity,
+    long long *out_addrs, double *out_vals,
+    long long *out_cycles, long long *out_stalls)
+{
+    long long cap = 8;
+    while (cap < 2 * (n + n_vb) + 2) cap <<= 1;
+    long long mask = cap - 1;
+    long long *keys = (long long *)malloc((size_t)cap * sizeof(long long));
+    unsigned char *state = (unsigned char *)calloc((size_t)cap, 1);
+    double *acc = (double *)malloc((size_t)cap * sizeof(double));
+    long long *last_issue = (long long *)calloc((size_t)cap, sizeof(long long));
+    long long *out_pos = (long long *)malloc((size_t)cap * sizeof(long long));
+    if (!keys || !state || !acc || !last_issue || !out_pos) {
+        free(keys); free(state); free(acc); free(last_issue); free(out_pos);
+        return -1;
+    }
+
+    for (long long i = 0; i < n_vb; i++) {
+        long long a = vb_addrs[i];
+        long long h = (a ^ (a >> 16)) & mask;
+        for (;;) {
+            if (state[h] == SLOT_EMPTY) {
+                keys[h] = a; acc[h] = vb_vals[i]; state[h] = SLOT_SEEDED;
+                break;
+            }
+            if (keys[h] == a) { acc[h] = vb_vals[i]; break; }
+            h = (h + 1) & mask;
+        }
+    }
+
+    long long cycles = 0, stalls = 0, n_out = 0;
+    for (long long i = 0; i < n; i++) {
+        long long a = addrs[i];
+        long long h = (a ^ (a >> 16)) & mask;
+        for (;;) {
+            if (state[h] == SLOT_EMPTY) {
+                keys[h] = a; acc[h] = identity; state[h] = SLOT_TOUCHED;
+                out_addrs[n_out] = a; out_pos[h] = n_out; n_out++;
+                break;
+            }
+            if (keys[h] == a) {
+                if (state[h] == SLOT_SEEDED) {
+                    state[h] = SLOT_TOUCHED;
+                    out_addrs[n_out] = a; out_pos[h] = n_out; n_out++;
+                }
+                break;
+            }
+            h = (h + 1) & mask;
+        }
+        long long li = last_issue[h];
+        if (li > cycles) { stalls += li - cycles; cycles = li; }
+        cycles += 1;
+        last_issue[h] = cycles + 2;  /* REUSE_BUBBLE */
+        double v = values[i];
+        double cur = acc[h];
+        if (opcode == 0)      { if (v < cur) acc[h] = v; }
+        else if (opcode == 1) { if (v > cur) acc[h] = v; }
+        else                  { acc[h] = cur + v; }
+    }
+    if (n > 0) cycles += 2;  /* PIPELINE_DEPTH - 1 */
+
+    for (long long h = 0; h < cap; h++)
+        if (state[h] == SLOT_TOUCHED) out_vals[out_pos[h]] = acc[h];
+
+    free(keys); free(state); free(acc); free(last_issue); free(out_pos);
+    *out_cycles = cycles;
+    *out_stalls = stalls;
+    return n_out;
+}
+
+int repro_micro_drain(
+    const long long *ue, long long total,
+    const long long *offsets, long long n_streams,
+    long long n_simt, long long num_ues, long long depth,
+    long long max_cycles, long long *out)
+{
+    long long *qlen = (long long *)calloc((size_t)(num_ues > 0 ? num_ues : 1),
+                                          sizeof(long long));
+    long long *cursors = (long long *)malloc(
+        (size_t)(n_streams > 0 ? n_streams : 1) * sizeof(long long));
+    if (!qlen || !cursors) { free(qlen); free(cursors); return -1; }
+    for (long long pe = 0; pe < n_streams; pe++) cursors[pe] = offsets[pe];
+
+    long long delivered = 0, backpressure = 0, max_occ = 0, cycle = 0;
+    while (delivered < total) {
+        if (cycle >= max_cycles) { free(qlen); free(cursors); return 1; }
+        for (long long pe = 0; pe < n_streams; pe++) {
+            long long cursor = cursors[pe];
+            long long end = offsets[pe + 1];
+            long long issued = 0;
+            while (issued < n_simt && cursor < end) {
+                long long u = ue[cursor];
+                if (qlen[u] >= depth) { backpressure++; break; }
+                qlen[u]++; cursor++; issued++;
+            }
+            cursors[pe] = cursor;
+        }
+        long long occ = 0;
+        for (long long u = 0; u < num_ues; u++) {
+            if (qlen[u] > 0) { qlen[u]--; delivered++; }
+            if (qlen[u] > occ) occ = qlen[u];
+        }
+        if (occ > max_occ) max_occ = occ;
+        cycle++;
+    }
+    out[0] = cycle; out[1] = delivered; out[2] = backpressure; out[3] = max_occ;
+    free(qlen); free(cursors);
+    return 0;
+}
+
+long long repro_alg2_scatter(
+    const long long *offsets, const long long *edges, const double *weights,
+    const long long *active, long long n_active,
+    const double *prop, double *t_prop,
+    int pe_kind, int fold_kind)
+{
+    long long edges_processed = 0;
+    for (long long k = 0; k < n_active; k++) {
+        long long u = active[k];
+        long long lo = offsets[u];
+        long long hi = offsets[u + 1];
+        double up = prop[u];
+        for (long long idx = lo; idx < hi; idx++) {
+            double w = weights[idx];
+            double res;
+            if (pe_kind == 0)      res = up + 1.0;
+            else if (pe_kind == 1) res = up + w;
+            else if (pe_kind == 2) res = up;
+            else                   res = (up < w) ? up : w;
+            long long v = edges[idx];
+            double cur = t_prop[v];
+            if (fold_kind == 0)      { if (res < cur) t_prop[v] = res; }
+            else if (fold_kind == 1) { if (res > cur) t_prop[v] = res; }
+            else                     { t_prop[v] = cur + res; }
+        }
+        edges_processed += hi - lo;
+    }
+    return edges_processed;
+}
+
+long long repro_alg2_apply(
+    double *prop, const double *t_prop, const double *c_prop, long long n,
+    int apply_kind, double alpha, double beta, unsigned char *changed_mask)
+{
+    long long changed = 0;
+    for (long long i = 0; i < n; i++) {
+        double p = prop[i];
+        double t = t_prop[i];
+        double a;
+        if (apply_kind == 0)      a = (p < t) ? p : t;
+        else if (apply_kind == 1) a = (p > t) ? p : t;
+        else {
+            double c = c_prop[i];
+            double d = (c > 1.0) ? c : 1.0;
+            a = (alpha + beta * t) / d;
+        }
+        if (p != a) { prop[i] = a; changed_mask[i] = 1; changed++; }
+        else        { changed_mask[i] = 0; }
+    }
+    return changed;
+}
+"""
+
+
+def _cache_root() -> str:
+    root = os.environ.get("REPRO_COMPILE_CACHE")
+    if not root:
+        root = os.path.join(os.path.expanduser("~"), ".cache", "repro", "compiled")
+    return root
+
+
+def _module_name() -> str:
+    digest = hashlib.sha256((_CDEF + _SOURCE).encode("utf-8")).hexdigest()[:12]
+    abi = "cp{}{}".format(sys.version_info[0], sys.version_info[1])
+    return "_repro_ck_{}_{}".format(abi, digest)
+
+
+def _find_built(root: str, modname: str) -> Optional[str]:
+    hits = sorted(glob.glob(os.path.join(root, modname + "*.so")))
+    return hits[0] if hits else None
+
+
+def _build(root: str, modname: str) -> str:
+    import cffi
+
+    ffibuilder = cffi.FFI()
+    ffibuilder.cdef(_CDEF)
+    ffibuilder.set_source(
+        modname,
+        _SOURCE,
+        extra_compile_args=["-O2"],
+    )
+    scratch = os.path.join(root, "build-{}".format(os.getpid()))
+    os.makedirs(scratch, exist_ok=True)
+    try:
+        built = ffibuilder.compile(tmpdir=scratch, verbose=False)
+        final = os.path.join(root, os.path.basename(built))
+        os.replace(built, final)
+        return final
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)
+
+
+def _load_so(modname: str, path: str):
+    spec = importlib.util.spec_from_file_location(modname, path)
+    if spec is None or spec.loader is None:
+        raise ImportError("cannot load compiled kernel module at {}".format(path))
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def load():
+    """Build (or reuse) and load the C kernel module.
+
+    Returns ``(ffi, lib)`` on success, ``None`` when cffi or a working C
+    compiler is unavailable.  Never raises for the expected "no
+    toolchain" failure modes -- the tier registry reports those as a
+    fallback, not an error.
+    """
+    try:
+        import cffi  # noqa: F401
+    except Exception:
+        return None
+    root = _cache_root()
+    modname = _module_name()
+    try:
+        os.makedirs(root, exist_ok=True)
+        path = _find_built(root, modname)
+        if path is None:
+            _build(root, modname)
+            path = _find_built(root, modname)
+        if path is None:
+            return None
+        module = _load_so(modname, path)
+        return module.ffi, module.lib
+    except Exception:
+        return None

@@ -1,0 +1,286 @@
+"""Reference implementations of the compiled-tier kernels.
+
+These four functions are written in a deliberately restricted "nopython"
+style -- plain loops over preallocated numpy arrays, no Python dicts, no
+closures -- so that the *same source* serves three providers:
+
+* ``numba``: each function is wrapped with ``@njit(cache=True)`` by
+  :mod:`repro.kernels._compiled_numba` (no source duplication, so the
+  JIT-compiled semantics cannot drift from what the tests exercise).
+* ``python``: the functions run as-is.  Slow, but always available, which
+  lets the equivalence suite cover the exact numba code paths even on
+  machines without numba installed.
+* ``cffi``: :mod:`repro.kernels._compiled_cffi` carries a line-for-line C
+  translation of these loops; this module is its readable reference.
+
+Bit-exactness contract: every arithmetic step mirrors the retained scalar
+references (``StallingReducePipeline.run``, ``_drain_event_loop``, the
+per-vertex loops in ``repro.vcpm.optimized``) operation for operation on
+IEEE doubles, so results are identical to the last bit, not just close.
+
+Opcode tables (shared with both compiled providers):
+
+======  ===========================  =======================================
+code    reduce / fold                ``ReduceOp``
+======  ===========================  =======================================
+0       min                          ``ReduceOp.MIN``
+1       max                          ``ReduceOp.MAX``
+2       sum                          ``ReduceOp.SUM``
+======  ===========================  =======================================
+
+======  ===========================  =======================================
+code    process_edge                 algorithms
+======  ===========================  =======================================
+0       ``u + 1``                    BFS
+1       ``u + w``                    SSSP
+2       ``u``                        CC, PR
+3       ``min(u, w)``                SSWP
+======  ===========================  =======================================
+
+======  ===========================  =======================================
+code    apply                        algorithms
+======  ===========================  =======================================
+0       ``min(prop, t_prop)``        BFS, SSSP, CC
+1       ``max(prop, t_prop)``        SSWP
+2       PageRank rank update         PR
+======  ===========================  =======================================
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+# Reduce/fold opcodes.
+OP_MIN = 0
+OP_MAX = 1
+OP_SUM = 2
+
+# process_edge opcodes.
+PE_ADD_ONE = 0
+PE_ADD_WEIGHT = 1
+PE_COPY = 2
+PE_MIN_WEIGHT = 3
+
+# apply opcodes.
+APPLY_MIN = 0
+APPLY_MAX = 1
+APPLY_PAGERANK = 2
+
+# Pipeline geometry shared with repro.core.reduce_pipeline (DEPTH = 3:
+# read / reduce / write, with a 2-cycle reuse bubble on same-address ops).
+PIPELINE_DEPTH = 3
+REUSE_BUBBLE = 2
+
+
+def stalling_reduce(addrs, values, vb_addrs, vb_vals, opcode, identity, out_addrs, out_vals):
+    """One pass of the stalling reduce pipeline over an op stream.
+
+    Exact port of ``StallingReducePipeline.run``: per-address last-issue
+    bubbles (an op may not issue until 2 cycles after the previous op to
+    the same address issued), plus the sequential in-order fold into the
+    vertex buffer.  The address -> slot map is an open-addressing table so
+    the pass is O(n) with no sort -- this is where the compiled tier beats
+    the ``np.unique``-based vectorized fold at scale.
+
+    ``vb_addrs``/``vb_vals`` seed the vertex buffer (existing entries fold
+    into, exactly like ``vb.get(addr, identity)`` in the scalar path).
+    ``out_addrs``/``out_vals`` must be preallocated with ``len(addrs)``
+    slots; touched addresses are written in first-touch order.
+
+    Returns ``(n_out, cycles, stall_cycles)``.
+    """
+    n = addrs.shape[0]
+    n_vb = vb_addrs.shape[0]
+    cap = 8
+    while cap < 2 * (n + n_vb) + 2:
+        cap <<= 1
+    mask = cap - 1
+    keys = np.empty(cap, np.int64)
+    # 0 = empty, 1 = seeded from vb only, 2 = touched by an op.
+    state = np.zeros(cap, np.uint8)
+    acc = np.empty(cap, np.float64)
+    last_issue = np.zeros(cap, np.int64)
+    out_pos = np.empty(cap, np.int64)
+
+    for i in range(n_vb):
+        a = vb_addrs[i]
+        h = (a ^ (a >> 16)) & mask
+        while True:
+            if state[h] == 0:
+                keys[h] = a
+                acc[h] = vb_vals[i]
+                state[h] = 1
+                break
+            if keys[h] == a:
+                acc[h] = vb_vals[i]
+                break
+            h = (h + 1) & mask
+
+    cycles = 0
+    stalls = 0
+    n_out = 0
+    for i in range(n):
+        a = addrs[i]
+        h = (a ^ (a >> 16)) & mask
+        while True:
+            if state[h] == 0:
+                keys[h] = a
+                acc[h] = identity
+                state[h] = 2
+                out_addrs[n_out] = a
+                out_pos[h] = n_out
+                n_out += 1
+                break
+            if keys[h] == a:
+                if state[h] == 1:
+                    state[h] = 2
+                    out_addrs[n_out] = a
+                    out_pos[h] = n_out
+                    n_out += 1
+                break
+            h = (h + 1) & mask
+        li = last_issue[h]
+        if li > cycles:
+            stalls += li - cycles
+            cycles = li
+        cycles += 1
+        last_issue[h] = cycles + REUSE_BUBBLE
+        v = values[i]
+        cur = acc[h]
+        if opcode == OP_MIN:
+            if v < cur:
+                acc[h] = v
+        elif opcode == OP_MAX:
+            if v > cur:
+                acc[h] = v
+        else:
+            acc[h] = cur + v
+    if n > 0:
+        cycles += PIPELINE_DEPTH - 1
+
+    for h in range(cap):
+        if state[h] == 2:
+            out_vals[out_pos[h]] = acc[h]
+    return n_out, cycles, stalls
+
+
+def micro_drain(ue, offsets, n_simt, num_ues, depth, max_cycles, out):
+    """Exact event-loop drain of per-PE UE streams through bounded FIFOs.
+
+    Port of ``repro.kernels.micro_drain._drain_event_loop``: each cycle,
+    every PE issues up to ``n_simt`` updates in stream order, stopping at
+    the first full FIFO (one back-pressure event); then every occupied UE
+    retires one update.  ``ue`` is the concatenation of the per-PE UE-index
+    streams, delimited by ``offsets`` (CSR-style, ``len == n_streams + 1``).
+
+    Writes ``[cycles, delivered, backpressure, max_occupancy]`` into
+    ``out`` and returns 0, or returns 1 when ``max_cycles`` elapses before
+    the streams drain (caller raises the budget error).
+    """
+    total = ue.shape[0]
+    n_streams = offsets.shape[0] - 1
+    qlen = np.zeros(num_ues, np.int64)
+    cursors = np.empty(n_streams, np.int64)
+    for pe in range(n_streams):
+        cursors[pe] = offsets[pe]
+    delivered = 0
+    backpressure = 0
+    max_occ = 0
+    cycle = 0
+    while delivered < total:
+        if cycle >= max_cycles:
+            return 1
+        for pe in range(n_streams):
+            cursor = cursors[pe]
+            end = offsets[pe + 1]
+            issued = 0
+            while issued < n_simt and cursor < end:
+                u = ue[cursor]
+                if qlen[u] >= depth:
+                    backpressure += 1
+                    break
+                qlen[u] += 1
+                cursor += 1
+                issued += 1
+            cursors[pe] = cursor
+        occ = 0
+        for u in range(num_ues):
+            if qlen[u] > 0:
+                qlen[u] -= 1
+                delivered += 1
+            if qlen[u] > occ:
+                occ = qlen[u]
+        if occ > max_occ:
+            max_occ = occ
+        cycle += 1
+    out[0] = cycle
+    out[1] = delivered
+    out[2] = backpressure
+    out[3] = max_occ
+    return 0
+
+
+def alg2_scatter(offsets, edges, weights, active, prop, t_prop, pe_kind, fold_kind):
+    """Algorithm 2 Scatter: process_edge + reduce for one active frontier.
+
+    Port of the scalar loop in ``repro.vcpm.optimized.run_optimized``:
+    vertices in ``active`` order, edges in CSR order, sequential in-order
+    fold into ``t_prop`` (updated in place).  Returns edges processed.
+    """
+    edges_processed = 0
+    for k in range(active.shape[0]):
+        u = active[k]
+        lo = offsets[u]
+        hi = offsets[u + 1]
+        up = prop[u]
+        for idx in range(lo, hi):
+            w = weights[idx]
+            if pe_kind == PE_ADD_ONE:
+                res = up + 1.0
+            elif pe_kind == PE_ADD_WEIGHT:
+                res = up + w
+            elif pe_kind == PE_COPY:
+                res = up
+            else:
+                res = up if up < w else w
+            v = edges[idx]
+            cur = t_prop[v]
+            if fold_kind == OP_MIN:
+                if res < cur:
+                    t_prop[v] = res
+            elif fold_kind == OP_MAX:
+                if res > cur:
+                    t_prop[v] = res
+            else:
+                t_prop[v] = cur + res
+        edges_processed += hi - lo
+    return edges_processed
+
+
+def alg2_apply(prop, t_prop, c_prop, apply_kind, alpha, beta, changed_mask):
+    """Algorithm 2 Apply: per-vertex apply + activation mask.
+
+    Port of the scalar Apply loop: computes the applied value for every
+    vertex, writes it into ``prop`` in place, and sets ``changed_mask[i]``
+    when the vertex's property changed (i.e. the vertex activates for the
+    next iteration).  Returns the number of changed vertices.
+    """
+    changed = 0
+    for i in range(prop.shape[0]):
+        p = prop[i]
+        t = t_prop[i]
+        if apply_kind == APPLY_MIN:
+            a = p if p < t else t
+        elif apply_kind == APPLY_MAX:
+            a = p if p > t else t
+        else:
+            c = c_prop[i]
+            d = c if c > 1.0 else 1.0
+            a = (alpha + beta * t) / d
+        if p != a:
+            prop[i] = a
+            changed_mask[i] = 1
+            changed += 1
+        else:
+            changed_mask[i] = 0
+    return changed

@@ -1,0 +1,553 @@
+"""Compiled kernel tier: native implementations of the three hot loops.
+
+Third implementation tier behind the equivalence oracle (see
+:mod:`repro.kernels.tiers`): the stalling reduce-pipeline recurrence,
+the exact Scatter micro-architecture event loop, and per-cell
+Algorithm 2 iteration, each running as native code while producing
+bit-identical results to the retained scalar references.
+
+Providers, tried in order under ``REPRO_COMPILE_BACKEND=auto`` (the
+default):
+
+* ``numba`` -- ``@njit(cache=True)`` over the reference loops in
+  :mod:`repro.kernels._kernels_py`.
+* ``cffi``  -- a C translation of the same loops, built once with the
+  system compiler and cached on disk
+  (:mod:`repro.kernels._compiled_cffi`).
+
+``REPRO_COMPILE_BACKEND`` accepts ``auto``/``numba``/``cffi``/``python``
+/``none``; ``python`` runs the un-jitted reference loops (slow -- test
+escape hatch only) and ``none`` disables the tier outright.  Each
+provider is smoke-run on toy inputs at load, so a numba typing error or
+a broken toolchain surfaces as "provider unavailable" (a warn-once
+fallback) rather than a crash mid-run.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.reduce_pipeline import ReduceResult, ZeroStallReducePipeline
+from ..vcpm.spec import AlgorithmSpec, ReduceOp
+from . import _kernels_py
+
+__all__ = [
+    "get_provider",
+    "load_seconds",
+    "reset_provider_cache",
+    "stalling_run_compiled",
+    "zero_stall_run_compiled",
+    "micro_drain_compiled",
+    "alg2_supported",
+    "run_optimized_compiled",
+]
+
+ENV_BACKEND = "REPRO_COMPILE_BACKEND"
+
+_REDUCE_CODES = {
+    ReduceOp.MIN: _kernels_py.OP_MIN,
+    ReduceOp.MAX: _kernels_py.OP_MAX,
+    ReduceOp.SUM: _kernels_py.OP_SUM,
+}
+_PE_CODES = {
+    "add_one": _kernels_py.PE_ADD_ONE,
+    "add_weight": _kernels_py.PE_ADD_WEIGHT,
+    "copy": _kernels_py.PE_COPY,
+    "min_weight": _kernels_py.PE_MIN_WEIGHT,
+}
+_APPLY_CODES = {
+    "min": _kernels_py.APPLY_MIN,
+    "max": _kernels_py.APPLY_MAX,
+    "pagerank": _kernels_py.APPLY_PAGERANK,
+}
+
+
+def _i64(arr) -> np.ndarray:
+    return np.ascontiguousarray(arr, dtype=np.int64)
+
+
+def _f64(arr) -> np.ndarray:
+    return np.ascontiguousarray(arr, dtype=np.float64)
+
+
+class _FnProvider:
+    """Provider over plain callables (numba-jitted or pure Python)."""
+
+    def __init__(self, name: str, fns) -> None:
+        self.name = name
+        self._fns = fns
+
+    def stalling_reduce(self, addrs, values, vb_addrs, vb_vals, opcode, identity):
+        n = addrs.shape[0]
+        out_addrs = np.empty(n, dtype=np.int64)
+        out_vals = np.empty(n, dtype=np.float64)
+        n_out, cycles, stalls = self._fns["stalling_reduce"](
+            addrs, values, vb_addrs, vb_vals, opcode, identity, out_addrs, out_vals
+        )
+        return int(n_out), int(cycles), int(stalls), out_addrs, out_vals
+
+    def micro_drain(self, ue, offsets, n_simt, num_ues, depth, max_cycles):
+        out = np.zeros(4, dtype=np.int64)
+        status = self._fns["micro_drain"](
+            ue, offsets, n_simt, num_ues, depth, max_cycles, out
+        )
+        return int(status), out
+
+    def alg2_scatter(self, offsets, edges, weights, active, prop, t_prop, pe_kind, fold_kind):
+        return int(
+            self._fns["alg2_scatter"](
+                offsets, edges, weights, active, prop, t_prop, pe_kind, fold_kind
+            )
+        )
+
+    def alg2_apply(self, prop, t_prop, c_prop, apply_kind, alpha, beta, mask):
+        return int(
+            self._fns["alg2_apply"](prop, t_prop, c_prop, apply_kind, alpha, beta, mask)
+        )
+
+
+class _CffiProvider:
+    """Provider over the cffi-built C extension."""
+
+    name = "cffi"
+
+    def __init__(self, ffi, lib) -> None:
+        self._ffi = ffi
+        self._lib = lib
+
+    def _i64p(self, arr):
+        return self._ffi.cast("long long *", self._ffi.from_buffer(arr))
+
+    def _f64p(self, arr):
+        return self._ffi.cast("double *", self._ffi.from_buffer(arr))
+
+    def _u8p(self, arr):
+        return self._ffi.cast("unsigned char *", self._ffi.from_buffer(arr))
+
+    def stalling_reduce(self, addrs, values, vb_addrs, vb_vals, opcode, identity):
+        n = addrs.shape[0]
+        out_addrs = np.empty(n, dtype=np.int64)
+        out_vals = np.empty(n, dtype=np.float64)
+        out_cycles = self._ffi.new("long long *")
+        out_stalls = self._ffi.new("long long *")
+        n_out = self._lib.repro_stalling_reduce(
+            self._i64p(addrs),
+            self._f64p(values),
+            n,
+            self._i64p(vb_addrs),
+            self._f64p(vb_vals),
+            vb_addrs.shape[0],
+            opcode,
+            identity,
+            self._i64p(out_addrs),
+            self._f64p(out_vals),
+            out_cycles,
+            out_stalls,
+        )
+        if n_out < 0:
+            raise MemoryError("compiled stalling_reduce allocation failed")
+        return int(n_out), int(out_cycles[0]), int(out_stalls[0]), out_addrs, out_vals
+
+    def micro_drain(self, ue, offsets, n_simt, num_ues, depth, max_cycles):
+        out = np.zeros(4, dtype=np.int64)
+        status = self._lib.repro_micro_drain(
+            self._i64p(ue),
+            ue.shape[0],
+            self._i64p(offsets),
+            offsets.shape[0] - 1,
+            n_simt,
+            num_ues,
+            depth,
+            max_cycles,
+            self._i64p(out),
+        )
+        if status < 0:
+            raise MemoryError("compiled micro_drain allocation failed")
+        return int(status), out
+
+    def alg2_scatter(self, offsets, edges, weights, active, prop, t_prop, pe_kind, fold_kind):
+        return int(
+            self._lib.repro_alg2_scatter(
+                self._i64p(offsets),
+                self._i64p(edges),
+                self._f64p(weights),
+                self._i64p(active),
+                active.shape[0],
+                self._f64p(prop),
+                self._f64p(t_prop),
+                pe_kind,
+                fold_kind,
+            )
+        )
+
+    def alg2_apply(self, prop, t_prop, c_prop, apply_kind, alpha, beta, mask):
+        return int(
+            self._lib.repro_alg2_apply(
+                self._f64p(prop),
+                self._f64p(t_prop),
+                self._f64p(c_prop),
+                prop.shape[0],
+                apply_kind,
+                alpha,
+                beta,
+                self._u8p(mask),
+            )
+        )
+
+
+def _smoke(provider) -> None:
+    """Run every kernel once on toy inputs; raises on any breakage.
+
+    For numba this is where JIT compilation actually happens, so typing
+    errors surface here (and the daemon's warm-compile pays the cost once
+    at boot instead of on the first request).
+    """
+    addrs = np.array([0, 1, 0], dtype=np.int64)
+    vals = np.array([1.0, 2.0, 3.0], dtype=np.float64)
+    empty_i = np.zeros(0, dtype=np.int64)
+    empty_f = np.zeros(0, dtype=np.float64)
+    n_out, cycles, stalls, oa, ov = provider.stalling_reduce(
+        addrs, vals, empty_i, empty_f, _kernels_py.OP_SUM, 0.0
+    )
+    assert n_out == 2 and cycles >= 3 and ov[0] == 4.0, "stalling_reduce smoke failed"
+    status, out = provider.micro_drain(
+        np.array([0, 0, 1], dtype=np.int64),
+        np.array([0, 3], dtype=np.int64),
+        4,
+        2,
+        4,
+        1000,
+    )
+    assert status == 0 and out[1] == 3, "micro_drain smoke failed"
+    offsets = np.array([0, 2, 2], dtype=np.int64)
+    edges = np.array([1, 1], dtype=np.int64)
+    weights = np.array([1.0, 1.0], dtype=np.float64)
+    prop = np.array([0.0, np.inf], dtype=np.float64)
+    t_prop = np.array([np.inf, np.inf], dtype=np.float64)
+    active = np.array([0], dtype=np.int64)
+    ep = provider.alg2_scatter(
+        offsets, edges, weights, active, prop, t_prop,
+        _kernels_py.PE_ADD_ONE, _kernels_py.OP_MIN,
+    )
+    assert ep == 2 and t_prop[1] == 1.0, "alg2_scatter smoke failed"
+    mask = np.zeros(2, dtype=np.uint8)
+    changed = provider.alg2_apply(
+        prop, t_prop, np.zeros(2), _kernels_py.APPLY_MIN, 0.15, 0.85, mask
+    )
+    assert changed == 1 and prop[1] == 1.0 and mask[1] == 1, "alg2_apply smoke failed"
+
+
+_lock = threading.Lock()
+_cached: Tuple[bool, Optional[object]] = (False, None)  # (resolved, provider)
+_load_seconds: Optional[float] = None
+
+
+def _load_provider():
+    choice = os.environ.get(ENV_BACKEND, "auto").strip().lower() or "auto"
+    if choice == "none":
+        return None
+    candidates = []
+    if choice in ("auto", "numba"):
+        candidates.append("numba")
+    if choice in ("auto", "cffi"):
+        candidates.append("cffi")
+    if choice == "python":
+        candidates.append("python")
+    for name in candidates:
+        try:
+            if name == "numba":
+                from . import _compiled_numba
+
+                fns = _compiled_numba.load()
+                provider = _FnProvider("numba", fns) if fns is not None else None
+            elif name == "cffi":
+                from . import _compiled_cffi
+
+                built = _compiled_cffi.load()
+                provider = _CffiProvider(*built) if built is not None else None
+            else:
+                provider = _FnProvider(
+                    "python",
+                    {
+                        "stalling_reduce": _kernels_py.stalling_reduce,
+                        "micro_drain": _kernels_py.micro_drain,
+                        "alg2_scatter": _kernels_py.alg2_scatter,
+                        "alg2_apply": _kernels_py.alg2_apply,
+                    },
+                )
+            if provider is None:
+                continue
+            _smoke(provider)
+            return provider
+        except Exception:
+            continue
+    return None
+
+
+def get_provider():
+    """The process-wide compiled provider, or ``None`` when unavailable.
+
+    Resolution (including any native compilation) happens once per
+    process and is cached, so callers may treat this as cheap.
+    """
+    global _cached, _load_seconds
+    resolved, provider = _cached
+    if resolved:
+        return provider
+    with _lock:
+        resolved, provider = _cached
+        if resolved:
+            return provider
+        start = time.perf_counter()
+        provider = _load_provider()
+        _load_seconds = time.perf_counter() - start
+        _cached = (True, provider)
+        return provider
+
+
+def load_seconds() -> Optional[float]:
+    """Wall seconds spent loading/compiling the provider (None if never)."""
+    return _load_seconds
+
+
+def reset_provider_cache() -> None:
+    """Drop the cached provider so the next call re-resolves (tests)."""
+    global _cached, _load_seconds
+    with _lock:
+        _cached = (False, None)
+        _load_seconds = None
+
+
+def _require_provider():
+    provider = get_provider()
+    if provider is None:
+        raise RuntimeError(
+            "compiled kernel tier requested but no provider is available; "
+            "resolve_tier() should have routed to 'vectorized' first"
+        )
+    return provider
+
+
+def _vb_arrays(vb: Optional[Dict[int, float]]) -> Tuple[np.ndarray, np.ndarray]:
+    if not vb:
+        return np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.float64)
+    keys = np.fromiter(vb.keys(), dtype=np.int64, count=len(vb))
+    vals = np.fromiter(vb.values(), dtype=np.float64, count=len(vb))
+    return keys, vals
+
+
+def stalling_run_compiled(
+    addrs: np.ndarray,
+    values: np.ndarray,
+    reduce_op: ReduceOp,
+    vb: Optional[Dict[int, float]] = None,
+    identity: Optional[float] = None,
+) -> ReduceResult:
+    """Compiled :meth:`StallingReducePipeline.run` (single O(n) pass).
+
+    Unlike the vectorized kernel this never sorts the address stream:
+    the bubble recurrence, the last-issue map and the sequential fold all
+    live in one open-addressing pass, which is where the >=3x over
+    ``np.unique`` + ``ufunc.at`` comes from at paper scale.
+    """
+    provider = _require_provider()
+    addrs = _i64(addrs)
+    values = _f64(values)
+    identity = reduce_op.identity if identity is None else identity
+    vb_addrs, vb_vals = _vb_arrays(vb)
+    n_out, cycles, stalls, out_addrs, out_vals = provider.stalling_reduce(
+        addrs, values, vb_addrs, vb_vals, _REDUCE_CODES[reduce_op], float(identity)
+    )
+    out = dict(vb) if vb else {}
+    out.update(zip(out_addrs[:n_out].tolist(), out_vals[:n_out].tolist()))
+    return ReduceResult(
+        cycles=cycles, ops=int(addrs.size), stall_cycles=stalls, vb=out
+    )
+
+
+def zero_stall_run_compiled(
+    addrs: np.ndarray,
+    values: np.ndarray,
+    reduce_op: ReduceOp,
+    vb: Optional[Dict[int, float]] = None,
+    identity: Optional[float] = None,
+) -> ReduceResult:
+    """Compiled :meth:`ZeroStallReducePipeline.run`.
+
+    The forwarding pipeline never stalls, so only the sequential fold
+    needs native code; the cycle count is the closed form.
+    """
+    provider = _require_provider()
+    addrs = _i64(addrs)
+    values = _f64(values)
+    identity = reduce_op.identity if identity is None else identity
+    vb_addrs, vb_vals = _vb_arrays(vb)
+    n_out, _cycles, _stalls, out_addrs, out_vals = provider.stalling_reduce(
+        addrs, values, vb_addrs, vb_vals, _REDUCE_CODES[reduce_op], float(identity)
+    )
+    out = dict(vb) if vb else {}
+    out.update(zip(out_addrs[:n_out].tolist(), out_vals[:n_out].tolist()))
+    n = int(addrs.size)
+    return ReduceResult(
+        cycles=n + ZeroStallReducePipeline.DEPTH - 1 if n else 0,
+        ops=n,
+        stall_cycles=0,
+        vb=out,
+    )
+
+
+def micro_drain_compiled(
+    pe_streams: Sequence[np.ndarray],
+    num_ues: int,
+    n_simt: int,
+    ue_queue_depth: int,
+    max_cycles: int,
+):
+    """Compiled exact event-loop drain; returns a ``MicroScatterResult``.
+
+    Raises the same cycle-budget ``RuntimeError`` as the scalar replay.
+    """
+    from ..graphdyns.micro import MicroScatterResult
+
+    provider = _require_provider()
+    streams = [np.asarray(s, dtype=np.int64) for s in pe_streams]
+    total = int(sum(s.size for s in streams))
+    if total == 0:
+        return MicroScatterResult(
+            cycles=0,
+            results_delivered=0,
+            backpressure_events=0,
+            max_ue_queue_occupancy=0,
+        )
+    ue = _i64(np.concatenate([s % num_ues for s in streams]))
+    sizes = [0] + [int(s.size) for s in streams]
+    offsets = _i64(np.cumsum(sizes))
+    status, out = provider.micro_drain(
+        ue, offsets, n_simt, num_ues, ue_queue_depth, max_cycles
+    )
+    if status == 1:
+        raise RuntimeError("micro-model exceeded cycle budget")
+    return MicroScatterResult(
+        cycles=int(out[0]),
+        results_delivered=int(out[1]),
+        backpressure_events=int(out[2]),
+        max_ue_queue_occupancy=int(out[3]),
+    )
+
+
+def alg2_supported(spec: AlgorithmSpec) -> bool:
+    """Whether this spec carries the opcode metadata the native loops need."""
+    return (
+        getattr(spec, "process_edge_kind", None) in _PE_CODES
+        and getattr(spec, "apply_kind", None) in _APPLY_CODES
+    )
+
+
+def run_optimized_compiled(
+    graph,
+    spec: AlgorithmSpec,
+    source: Optional[int] = 0,
+    max_iterations: Optional[int] = None,
+    v_list_size: int = 8,
+    pr_tolerance: float = 1e-7,
+):
+    """Compiled Algorithm 2: native Scatter/Apply, Python driver.
+
+    Iteration structure, dispatch counters and convergence tests mirror
+    the scalar ``run_optimized`` statement for statement; only the two
+    per-element processing stages run as native code.  The PageRank
+    convergence delta stays in numpy (``np.abs(...).sum()`` is a pairwise
+    sum whose rounding the scalar reference shares).
+    """
+    from ..vcpm.optimized import OptimizedRunResult
+
+    if v_list_size < 1:
+        raise ValueError("v_list_size must be >= 1")
+    if not alg2_supported(spec):
+        raise ValueError(
+            "spec {!r} lacks compiled opcode metadata "
+            "(process_edge_kind/apply_kind)".format(spec.name)
+        )
+    provider = _require_provider()
+    pe_kind = _PE_CODES[spec.process_edge_kind]
+    apply_kind = _APPLY_CODES[spec.apply_kind]
+    from ..vcpm.algorithms import PR_ALPHA, PR_BETA
+
+    num_vertices = graph.num_vertices
+    if max_iterations is None:
+        max_iterations = spec.default_max_iterations
+    if not spec.needs_source:
+        source = None
+
+    prop = _f64(spec.initial_prop(num_vertices, source))
+    t_prop = _f64(spec.initial_tprop(num_vertices))
+    deg = graph.out_degree().astype(np.float64)
+    c_prop = deg if spec.uses_degree_cprop else np.zeros(num_vertices)
+    if spec.uses_degree_cprop and num_vertices:
+        prop = prop / np.maximum(c_prop, 1.0)
+    prop = _f64(prop)
+    c_prop = _f64(c_prop)
+
+    offsets = _i64(graph.offsets)
+    edges = _i64(graph.edges)
+    weights = _f64(graph.weights)
+
+    if spec.all_vertices_active_initially:
+        active_ids = np.arange(num_vertices, dtype=np.int64)
+    elif source is not None and num_vertices:
+        active_ids = np.asarray([source], dtype=np.int64)
+    else:
+        active_ids = np.zeros(0, dtype=np.int64)
+
+    scatter_dispatches = 0
+    apply_dispatches = 0
+    edges_processed = 0
+    converged = False
+    completed_iterations = 0
+    workloads_per_iter = -(-num_vertices // v_list_size) if num_vertices else 0
+    changed_mask = np.zeros(num_vertices, dtype=np.uint8)
+
+    for _ in range(max_iterations):
+        if active_ids.size == 0:
+            converged = True
+            break
+
+        scatter_dispatches += int(active_ids.size)
+        edges_processed += provider.alg2_scatter(
+            offsets, edges, weights, _i64(active_ids), prop, t_prop,
+            pe_kind, _REDUCE_CODES[spec.reduce_op],
+        )
+
+        apply_dispatches += workloads_per_iter
+        old_prop = prop.copy()
+        provider.alg2_apply(
+            prop, t_prop, c_prop, apply_kind, PR_ALPHA, PR_BETA, changed_mask
+        )
+
+        completed_iterations += 1
+        if spec.resets_tprop_each_iteration:
+            t_prop = _f64(spec.initial_tprop(num_vertices))
+            delta = float(np.abs(prop - old_prop).sum())
+            if delta < pr_tolerance:
+                converged = True
+                break
+            active_ids = np.arange(num_vertices, dtype=np.int64)
+        else:
+            active_ids = np.flatnonzero(changed_mask).astype(np.int64)
+            if active_ids.size == 0:
+                converged = True
+                break
+
+    return OptimizedRunResult(
+        properties=prop,
+        num_iterations=completed_iterations,
+        converged=converged,
+        scatter_dispatches=scatter_dispatches,
+        apply_dispatches=apply_dispatches,
+        edges_processed=edges_processed,
+    )

@@ -91,6 +91,8 @@ BFS = AlgorithmSpec(
     apply=_min_apply,
     initial_prop=_source_init(float("inf"), 0.0),
     uses_weights=False,
+    process_edge_kind="add_one",
+    apply_kind="min",
 )
 
 SSSP = AlgorithmSpec(
@@ -99,6 +101,8 @@ SSSP = AlgorithmSpec(
     reduce_op=ReduceOp.MIN,
     apply=_min_apply,
     initial_prop=_source_init(float("inf"), 0.0),
+    process_edge_kind="add_weight",
+    apply_kind="min",
 )
 
 CC = AlgorithmSpec(
@@ -110,6 +114,8 @@ CC = AlgorithmSpec(
     uses_weights=False,
     all_vertices_active_initially=True,
     needs_source=False,
+    process_edge_kind="copy",
+    apply_kind="min",
 )
 
 SSWP = AlgorithmSpec(
@@ -118,6 +124,8 @@ SSWP = AlgorithmSpec(
     reduce_op=ReduceOp.MAX,
     apply=_max_apply,
     initial_prop=_source_init(0.0, float("inf")),
+    process_edge_kind="min_weight",
+    apply_kind="max",
 )
 
 PAGERANK = AlgorithmSpec(
@@ -131,6 +139,8 @@ PAGERANK = AlgorithmSpec(
     all_vertices_active_initially=True,
     needs_source=False,
     default_max_iterations=10,
+    process_edge_kind="copy",
+    apply_kind="pagerank",
 )
 
 ALGORITHMS: Dict[str, AlgorithmSpec] = {
