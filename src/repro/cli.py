@@ -8,6 +8,8 @@
     python -m repro figure fig6 fig7 --jobs 4
     python -m repro matrix --jobs 4 --checkpoint sweep.jsonl -o reports.json
     python -m repro matrix --resume sweep.jsonl -o reports.json
+    python -m repro plan examples/specs/table4.yaml
+    python -m repro run-spec examples/specs/table4.yaml --jobs 4 -o out.json
     python -m repro report -o EXPERIMENTS.md
     python -m repro serve --port 8177 --journal jobs.jsonl
     python -m repro submit --algorithms BFS --graphs FR --wait -o out.json
@@ -29,6 +31,15 @@ re-executes only its unfinished cells.  ``--inject`` enables the
 deterministic fault hooks (``crash:N``, ``hang:N:SECONDS``, ``kill:N``,
 ``flaky-store:N``, ``corrupt-cache:N``) used by the failure-mode tests.
 
+``plan``/``run-spec`` are the declarative surface
+(:mod:`repro.harness.specs` + :mod:`repro.harness.planner`): a YAML
+spec describes a backend x algorithm x graph x config-override grid
+with filters, selected report fields, and named outputs; ``plan``
+classifies every cell against the persistent cache without executing
+(``--url`` plans against a daemon's cache and in-flight jobs), and
+``run-spec`` executes only the pending cells (``--dry-run`` prints the
+plan table; ``--url`` fans pending cells into a daemon's job queue).
+
 ``serve`` runs the durable simulation daemon
 (:mod:`repro.harness.serve`): an HTTP/JSON job API with a write-ahead
 journal (crash-safe resume), request coalescing, admission control with
@@ -45,9 +56,10 @@ from typing import Callable, Dict, List, Optional
 
 from . import backends
 from .graph import datasets
-from .harness import figures, tables
+from .harness import figures, tables  # noqa: F401 - builder registry deps
 from .harness.experiments import ExperimentSuite
 from .harness.io import render_table
+from .harness.specs import OUTPUT_BUILDERS
 from .vcpm.algorithms import algorithm_names, get_algorithm
 
 __all__ = ["main", "build_parser", "DEFAULT_CACHE_DIR"]
@@ -57,27 +69,12 @@ DEFAULT_CACHE_DIR = os.environ.get(
     "REPRO_CACHE_DIR", os.path.join("~", ".cache", "repro")
 )
 
-_FIGURES: Dict[str, Callable[[], "figures.FigureResult"]] = {
-    "table1": tables.table1,
-    "table2": tables.table2,
-    "table3": tables.table3,
-    "table4": tables.table4,
-    "fig2": figures.figure2,
-    "fig6": figures.figure6,
-    "fig7": figures.figure7,
-    "fig8": figures.figure8,
-    "fig9": figures.figure9,
-    "fig10": figures.figure10,
-    "fig11": figures.figure11,
-    "fig12": figures.figure12,
-    "fig13": figures.figure13,
-    "fig14a": figures.figure14a,
-    "fig14b": figures.figure14b,
-    "fig14c": figures.figure14c,
-    "fig14d": figures.figure14d,
-    "fig14e": figures.figure14e,
-    "fig14f": figures.figure14f,
-}
+# The figure registry and the spec language's `outputs` builders are the
+# same mapping, so a builder added there is immediately addressable both
+# from `repro figure <name>` and from a spec's outputs clause.
+_FIGURES: Dict[str, Callable[[], "figures.FigureResult"]] = dict(
+    OUTPUT_BUILDERS
+)
 
 #: Figures that consume the shared suite (worth pre-warming in parallel).
 _MATRIX_FIGURES = {"fig6", "fig7", "fig9", "fig10", "fig11", "fig12", "fig13"}
@@ -90,25 +87,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    service_flags = argparse.ArgumentParser(add_help=False)
-    service_flags.add_argument(
+    # Cache/pool knobs alone (no storage/shards/kernel-tier): the
+    # spec-driven commands take those axes from the spec itself.
+    cache_flags = argparse.ArgumentParser(add_help=False)
+    cache_flags.add_argument(
         "--jobs",
         type=int,
         default=1,
         help="worker threads for the evaluation matrix (default: 1)",
     )
-    service_flags.add_argument(
+    cache_flags.add_argument(
         "--cache-dir",
         default=None,
         help=f"persistent result cache directory "
         f"(default: {DEFAULT_CACHE_DIR})",
     )
-    service_flags.add_argument(
+    cache_flags.add_argument(
         "--no-cache",
         action="store_true",
         help="disable the persistent result cache",
     )
-    service_flags.add_argument(
+    cache_flags.add_argument(
         "--executor",
         choices=("thread", "process"),
         default="thread",
@@ -146,7 +145,7 @@ def build_parser() -> argparse.ArgumentParser:
         "Results are byte-identical across tiers (default: auto)",
     )
     service_flags = argparse.ArgumentParser(
-        add_help=False, parents=[service_flags, sharding_flags]
+        add_help=False, parents=[cache_flags, sharding_flags]
     )
 
     run = sub.add_parser(
@@ -311,6 +310,61 @@ def build_parser() -> argparse.ArgumentParser:
         help="regenerate EXPERIMENTS.md (slow: full evaluation)",
     )
     report.add_argument("-o", "--output", default="EXPERIMENTS.md")
+
+    plan = sub.add_parser(
+        "plan",
+        parents=[cache_flags],
+        help="classify a declarative experiment spec against the cache "
+        "(never executes)",
+    )
+    plan.add_argument("spec", help="path to a YAML experiment spec")
+    plan.add_argument(
+        "--json",
+        action="store_true",
+        help="print the canonical plan JSON instead of the table",
+    )
+    plan.add_argument(
+        "--url",
+        default=None,
+        help="plan against a running daemon's cache and in-flight jobs "
+        "(POST /v1/plans dry-run) instead of the local cache",
+    )
+
+    run_spec = sub.add_parser(
+        "run-spec",
+        parents=[cache_flags],
+        help="plan and execute a declarative experiment spec",
+    )
+    run_spec.add_argument("spec", help="path to a YAML experiment spec")
+    run_spec.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="print the plan table and exit without executing anything",
+    )
+    run_spec.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        help="write the canonical RunReport JSON of every grid cell here",
+    )
+    run_spec.add_argument(
+        "--plan-out",
+        default=None,
+        help="write the canonical plan JSON here",
+    )
+    run_spec.add_argument(
+        "--url",
+        default=None,
+        help="submit the plan to a running daemon (pending cells fan "
+        "into its job queue) instead of executing locally",
+    )
+    run_spec.add_argument(
+        "--priority",
+        type=int,
+        default=None,
+        help="daemon queue priority for --url submissions "
+        "(default: the spec's own priority)",
+    )
 
     serve = sub.add_parser(
         "serve",
@@ -967,6 +1021,136 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _load_spec_for_cli(path: str):
+    """Parse a spec file; prints the SpecError and returns None on failure."""
+    from .harness.specs import SpecError, load_spec
+
+    try:
+        return load_spec(path)
+    except SpecError as exc:
+        print(f"spec error: {exc}", file=sys.stderr)
+        return None
+
+
+def _services_for_cli(args: argparse.Namespace, spec):
+    from .harness import planner
+
+    cache_dir: Optional[str]
+    if args.no_cache:
+        cache_dir = None
+    else:
+        cache_dir = args.cache_dir or DEFAULT_CACHE_DIR
+    return planner.services_for_spec(
+        spec,
+        cache_dir=cache_dir,
+        use_cache=not args.no_cache,
+        jobs=args.jobs,
+        executor=args.executor,
+    )
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    import json
+
+    from .harness import planner
+
+    if args.url:
+        from .harness.serve import submit_plan
+
+        try:
+            with open(args.spec) as handle:
+                text = handle.read()
+        except OSError as exc:
+            print(f"spec error: {exc}", file=sys.stderr)
+            return 2
+        status, _, body = submit_plan(args.url, yaml_text=text, dry_run=True)
+        if status != 200 or not isinstance(body, dict):
+            error = body.get("error") if isinstance(body, dict) else body
+            print(f"daemon rejected plan ({status}): {error}", file=sys.stderr)
+            return 1
+        print(json.dumps(body["plan"], indent=2, sort_keys=True))
+        return 0
+
+    spec = _load_spec_for_cli(args.spec)
+    if spec is None:
+        return 2
+    services = _services_for_cli(args, spec)
+    plan = planner.build_plan(spec, services)
+    if args.json:
+        print(planner.canonical_plan_json(plan))
+    else:
+        print(planner.render_plan_table(plan))
+    return 0
+
+
+def _cmd_run_spec(args: argparse.Namespace) -> int:
+    import json
+
+    from .harness import planner
+    from .harness.service import canonical_reports_json
+
+    if args.url:
+        from .harness.serve import submit_plan
+
+        try:
+            with open(args.spec) as handle:
+                text = handle.read()
+        except OSError as exc:
+            print(f"spec error: {exc}", file=sys.stderr)
+            return 2
+        status, _, body = submit_plan(
+            args.url,
+            yaml_text=text,
+            priority=args.priority,
+            dry_run=args.dry_run,
+        )
+        print(json.dumps(body, indent=2, sort_keys=True))
+        return 0 if status in (200, 202) else 1
+
+    spec = _load_spec_for_cli(args.spec)
+    if spec is None:
+        return 2
+    services = _services_for_cli(args, spec)
+    plan = planner.build_plan(spec, services)
+    print(planner.render_plan_table(plan))
+    if args.plan_out:
+        with open(args.plan_out, "w") as handle:
+            handle.write(planner.canonical_plan_json(plan))
+        print(f"\nwrote plan to {args.plan_out}")
+    if args.dry_run:
+        return 0
+
+    results = planner.execute_plan(plan, services)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(canonical_reports_json(results))
+        print(f"wrote {len(results)} cell reports to {args.output}")
+
+    rows = []
+    fields = list(spec.select) or ["cycles", "gteps", "speedup"]
+    for row in planner.summarize(spec, plan, results):
+        rows.append(
+            [row["override"], row["algorithm"], row["graph"], row["system"]]
+            + [
+                "-" if row[f] is None else f"{row[f]:.6g}"
+                for f in fields
+            ]
+        )
+    print()
+    print(
+        render_table(
+            ["override", "algo", "graph", "system"] + fields,
+            rows,
+            title=f"spec {spec.name}",
+        )
+    )
+    for name, result in planner.build_outputs(spec, services).items():
+        print()
+        print(f"# output: {name}")
+        print(result.render())
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
@@ -976,6 +1160,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "compare": _cmd_compare,
         "figure": _cmd_figure,
         "matrix": _cmd_matrix,
+        "plan": _cmd_plan,
+        "run-spec": _cmd_run_spec,
         "serve": _cmd_serve,
         "submit": _cmd_submit,
         "jobs": _cmd_jobs,

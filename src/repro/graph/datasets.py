@@ -281,6 +281,18 @@ def resolve_key(key: str) -> str:
     )
 
 
+def get_spec(key: str) -> DatasetSpec:
+    """The :class:`DatasetSpec` for ``key`` (case-insensitive, aliases ok).
+
+    The public registry accessor: gives planners and cost models the
+    proxy vertex/edge counts without loading (or building) the graph.
+
+    Raises:
+        KeyError: the key matches neither a registry entry nor an alias.
+    """
+    return _REGISTRY[resolve_key(key)]
+
+
 def load(key: str, use_cache: bool = True, storage: str = "memory") -> CSRGraph:
     """Load (and memoize) a dataset by its Table 4 key, e.g. ``"LJ"``.
 

@@ -219,6 +219,36 @@ class JobJournal:
     def resume(self, job_id: str) -> None:
         self.append({"event": "resume", "id": job_id})
 
+    def plan(
+        self,
+        spec_name: str,
+        spec_digest: str,
+        cells: int,
+        cached: int,
+        pending: int,
+        job_ids: List[str],
+        client: str,
+    ) -> None:
+        """Record one planned submission (audit trail, not job state).
+
+        The event carries no ``id`` on purpose: :meth:`replay` folds
+        only per-job events, so plans are invisible to recovery — the
+        fanned-out jobs each have their own ``submit`` lines and resume
+        individually.
+        """
+        self.append(
+            {
+                "event": "plan",
+                "spec_name": spec_name,
+                "spec_digest": spec_digest,
+                "cells": cells,
+                "cached": cached,
+                "pending": pending,
+                "jobs": list(job_ids),
+                "client": client,
+            }
+        )
+
     def shutdown(self) -> None:
         self.append({"event": "shutdown", "at": time.time()})
 

@@ -52,6 +52,7 @@ HTTP surface (all JSON)::
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import hashlib
 import json
@@ -62,8 +63,17 @@ import threading
 import time
 import urllib.error
 import urllib.request
+from collections import OrderedDict
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    FrozenSet,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from ..graph import datasets
 from ..graph.storage import gc_stale_spills
@@ -76,6 +86,9 @@ from .journal import JobJournal, JournalError
 from .resilience import ResilientRunService, RetryPolicy
 from .service import canonical_reports_json
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .specs import ExperimentSpec
+
 __all__ = [
     "DaemonConfig",
     "DaemonStats",
@@ -85,6 +98,7 @@ __all__ = [
     "SimulationDaemon",
     "http_json",
     "submit_job",
+    "submit_plan",
     "wait_for_job",
 ]
 
@@ -188,6 +202,7 @@ class DaemonStats:
     rejected_draining: int = 0
     rejected_invalid: int = 0
     shed: int = 0
+    planned: int = 0
     completed: int = 0
     failed: int = 0
     timeouts: int = 0
@@ -468,6 +483,175 @@ class SimulationDaemon:
                 )
         # Return the controller's decision so callers observe shed ids.
         return job, decision
+
+    def inflight_cell_keys(self) -> FrozenSet[str]:
+        """Content-addressed keys of every cell some live job covers.
+
+        The planner treats these cells as *inflight*: submitting them
+        again would coalesce onto the running job (same ``job_key``
+        construction), so a plan neither schedules them nor counts
+        their cost as pending.  Coalesced duplicates contribute the
+        same keys as their primary, so including them is harmless.
+        """
+        with self._lock:
+            specs = [
+                job.spec
+                for job in self._jobs.values()
+                if self.effective_state(job) not in _TERMINAL_STATES
+            ]
+        keys = set()
+        for spec in specs:
+            for algorithm, graph in spec.cells():
+                keys.add(
+                    self.service.cache_key(
+                        self.service.request_for(algorithm, graph)
+                    )
+                )
+        return frozenset(keys)
+
+    # ------------------------------------------------------------------
+    # Declarative plans (POST /v1/plans in library form)
+    # ------------------------------------------------------------------
+    def _spec_rejection(self, spec: "ExperimentSpec") -> Optional[str]:
+        """Why a spec cannot run on this daemon's warm service, or None.
+
+        The job queue executes on one shared service, so every axis the
+        queue cannot express per-job must match the daemon's settings —
+        a mismatched plan would return results for a *different*
+        configuration than the spec asked for.
+        """
+        if spec.backends:
+            return (
+                "daemon plans run on the daemon's full backend set; "
+                "drop 'backends' or run locally via 'repro run-spec'"
+            )
+        if spec.overrides:
+            return (
+                "config overrides are not servable by the shared "
+                "daemon service; run locally via 'repro run-spec'"
+            )
+        if spec.source != self.service.default_source:
+            return (
+                f"spec source {spec.source} != daemon source "
+                f"{self.service.default_source}"
+            )
+        if spec.storage != self.service.storage:
+            return (
+                f"spec storage {spec.storage!r} != daemon storage "
+                f"{self.service.storage!r}"
+            )
+        if spec.shards != self.service.shards:
+            return (
+                f"spec shards {spec.shards} != daemon shards "
+                f"{self.service.shards}"
+            )
+        if spec.kernel_tier not in ("auto", self.service.kernel_tier):
+            return (
+                f"spec kernel tier {spec.kernel_tier!r} != daemon tier "
+                f"{self.service.kernel_tier!r}"
+            )
+        return None
+
+    def plan_submission(
+        self,
+        data: Dict[str, object],
+        priority: Optional[int] = None,
+        client: str = "anonymous",
+        dry_run: bool = False,
+    ) -> Tuple[int, Dict[str, object]]:
+        """Plan a spec against this daemon and fan pending cells out.
+
+        Accepts ``{"spec": {...}}`` (parsed mapping) or
+        ``{"yaml": "..."}`` (spec text).  Returns ``(status, payload)``
+        where the payload always carries the classified plan; unless
+        ``dry_run``, each pending ``(graph)`` group is submitted as one
+        job through the normal admission path (rate limits, coalescing,
+        shedding, and journaling all apply).
+        """
+        from .planner import build_plan, plan_to_dict, spec_digest
+        from .specs import SpecError, parse_spec, spec_from_dict
+
+        try:
+            if "yaml" in data:
+                if not isinstance(data["yaml"], str):
+                    raise SpecError("'yaml' must be spec text")
+                spec = parse_spec(data["yaml"], source="<request>")
+            elif "spec" in data:
+                spec = spec_from_dict(data["spec"], source="<request>")
+            else:
+                raise SpecError(
+                    "plan requests need a 'spec' mapping or 'yaml' text"
+                )
+        except SpecError as exc:
+            with self._lock:
+                self.stats.rejected_invalid += 1
+            return 400, {
+                "error": str(exc),
+                "field": exc.field,
+                "line": exc.line,
+            }
+        rejection = self._spec_rejection(spec)
+        if rejection is not None:
+            with self._lock:
+                self.stats.rejected_invalid += 1
+            return 400, {"error": rejection, "field": None, "line": None}
+
+        override = spec.effective_overrides()[0].name
+        plan = build_plan(
+            spec, {override: self.service}, self.inflight_cell_keys()
+        )
+        payload: Dict[str, object] = {
+            "plan": plan_to_dict(plan),
+            "dry_run": dry_run,
+            "jobs": [],
+            "rejected": [],
+        }
+        if dry_run:
+            return 200, payload
+
+        effective_priority = (
+            spec.priority if priority is None else int(priority)
+        )
+        groups: "OrderedDict[str, List[str]]" = OrderedDict()
+        for cell in plan.schedule:
+            groups.setdefault(cell.graph, []).append(cell.algorithm)
+        jobs: List[Dict[str, object]] = []
+        rejected: List[Dict[str, object]] = []
+        for graph, algorithms in groups.items():
+            job, decision = self.submit(
+                {"algorithms": algorithms, "graphs": [graph]},
+                priority=effective_priority,
+                client=client,
+            )
+            if job is None:
+                rejected.append(
+                    {
+                        "graph": graph,
+                        "algorithms": algorithms,
+                        "status": decision.status,
+                        "reason": decision.reason,
+                    }
+                )
+            else:
+                jobs.append(self.job_dict(job))
+        with self._lock:
+            self.stats.planned += 1
+        get_recorder().counter("serve.planned").add()
+        if self.journal is not None:
+            with contextlib.suppress(JournalError):
+                self.journal.plan(
+                    spec_name=spec.name,
+                    spec_digest=spec_digest(spec),
+                    cells=len(plan.cells),
+                    cached=len(plan.cached),
+                    pending=len(plan.pending),
+                    job_ids=[str(j["id"]) for j in jobs],
+                    client=client,
+                )
+        payload["jobs"] = jobs
+        payload["rejected"] = rejected
+        status = 202 if jobs or not rejected else rejected[0]["status"]
+        return status, payload
 
     def _journal_submit(self, job: Job) -> None:
         if self.journal is None:
@@ -1013,6 +1197,34 @@ class _Handler(BaseHTTPRequestHandler):
             daemon.drain()
             self._send(202, {"draining": True})
             return
+        if self.path == "/v1/plans":
+            try:
+                data = self._read_json()
+            except JobValidationError as exc:
+                self._send(400, {"error": str(exc)})
+                return
+            client = str(
+                data.get("client")
+                or self.headers.get("X-Client")
+                or "anonymous"
+            )
+            priority: Optional[int]
+            try:
+                raw_priority = data.get("priority")
+                priority = (
+                    None if raw_priority is None else int(raw_priority)  # type: ignore[arg-type]
+                )
+            except (TypeError, ValueError):
+                self._send(400, {"error": "'priority' must be an integer"})
+                return
+            status, payload = daemon.plan_submission(
+                data,
+                priority=priority,
+                client=client,
+                dry_run=bool(data.get("dry_run", False)),
+            )
+            self._send(status, payload)
+            return
         if self.path != "/v1/jobs":
             self._send(404, {"error": f"no route for POST {self.path}"})
             return
@@ -1117,6 +1329,31 @@ def submit_job(
             "priority": priority,
             "client": client,
         },
+        timeout=timeout,
+    )
+
+
+def submit_plan(
+    base_url: str,
+    yaml_text: Optional[str] = None,
+    spec: Optional[Dict[str, object]] = None,
+    priority: Optional[int] = None,
+    client: str = "cli",
+    dry_run: bool = False,
+    timeout: float = 10.0,
+) -> Tuple[int, Dict[str, str], object]:
+    """POST one declarative plan; ``(status, headers, body)`` triple."""
+    payload: Dict[str, object] = {"client": client, "dry_run": dry_run}
+    if yaml_text is not None:
+        payload["yaml"] = yaml_text
+    if spec is not None:
+        payload["spec"] = spec
+    if priority is not None:
+        payload["priority"] = priority
+    return http_json(
+        f"{base_url}/v1/plans",
+        method="POST",
+        payload=payload,
         timeout=timeout,
     )
 

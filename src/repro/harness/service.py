@@ -63,6 +63,7 @@ from ..metrics.counters import CacheStats, RunReport
 from ..metrics.serialize import (
     SCHEMA_VERSION,
     SchemaMismatchError,
+    json_scalar_default,
     report_from_dict,
     report_to_dict,
 )
@@ -355,6 +356,7 @@ def canonical_reports_json(cells: Sequence["CellResult"]) -> str:
             for cell in cells
         ],
         sort_keys=True,
+        default=json_scalar_default,
     )
 
 
@@ -524,6 +526,31 @@ class RunService:
     def _cache_path(self, request: RunRequest) -> str:
         assert self.cache_dir is not None
         return os.path.join(self.cache_dir, f"{self.cache_key(request)}.json")
+
+    def probe(
+        self, algorithm: str, graph_key: str
+    ) -> Tuple[RunRequest, str, str]:
+        """Classify one cell without executing it.
+
+        Returns ``(request, cache_key, status)`` where ``status`` is
+        ``"memo"`` (resolved in this process), ``"persistent"`` (a valid
+        envelope is on disk — validated with the same ``_load_cached``
+        checks ``cell()`` applies, so a stale or corrupt entry reads as
+        a miss here exactly as it would there), or ``"miss"``.  This is
+        the planner's read-only window into the cache: probing never
+        loads datasets, never executes, and never mutates the memo.
+        """
+        request = self.request_for(algorithm, graph_key)
+        key = self.cache_key(request)
+        with self._lock:
+            in_memo = (request.algorithm, graph_key) in self._cells
+        if in_memo:
+            return request, key, "memo"
+        if self.persistent:
+            path = self._cache_path(request)
+            if self._load_cached(path, request) is not None:
+                return request, key, "persistent"
+        return request, key, "miss"
 
     # ------------------------------------------------------------------
     # Persistent cache I/O
@@ -751,6 +778,10 @@ class RunService:
                     }
                     _await_cell_futures(futures)
         return [self.cell(a, g) for a, g in pairs]
+
+    #: The hand-coded matrix path under the name the planner-equivalence
+    #: battery compares against (``spec path == run_matrix path``).
+    run_matrix = matrix
 
     def _resolve_in_processes(
         self, pairs: Sequence[Tuple[str, str]], workers: int

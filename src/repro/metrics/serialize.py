@@ -18,11 +18,36 @@ from .counters import PhaseBreakdown, RunReport
 __all__ = [
     "SCHEMA_VERSION",
     "SchemaMismatchError",
+    "json_scalar_default",
     "report_to_dict",
     "report_from_dict",
     "save_reports",
     "load_reports",
 ]
+
+
+def json_scalar_default(obj: Any) -> Any:
+    """``json.dumps(default=...)`` hook normalizing numpy scalars.
+
+    Canonical JSON (report bytes, plan goldens) must not depend on
+    whether a count arrived as ``int`` or ``np.int64``: ``json.dumps``
+    rejects the latter outright, and ``np.float64`` repr differs from
+    the float repr on some interpreter builds.  Converting through the
+    native Python types pins one byte representation across Python
+    3.9–3.12 and numpy versions.  Anything non-numpy still raises
+    ``TypeError``, preserving ``json.dumps`` strictness.
+    """
+    import numpy as np
+
+    if isinstance(obj, np.bool_):
+        return bool(obj)
+    if isinstance(obj, np.integer):
+        return int(obj)
+    if isinstance(obj, np.floating):
+        return float(obj)
+    raise TypeError(
+        f"Object of type {type(obj).__name__} is not JSON serializable"
+    )
 
 #: Version stamp written into every serialized report.  Bump whenever the
 #: dict layout changes incompatibly; readers reject mismatched stamps so a

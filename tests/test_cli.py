@@ -329,3 +329,88 @@ class TestServeClients:
         err = capsys.readouterr().err
         assert "rejected [503]" in err
         assert "Retry-After" in err
+
+
+class TestSpecCommands:
+    """The declarative plan / run-spec surface."""
+
+    SPEC = "name: clitest\nalgorithms: [BFS]\ngraphs: [RM12]\nselect: [cycles]\n"
+
+    @pytest.fixture()
+    def spec_path(self, tmp_path):
+        path = tmp_path / "spec.yaml"
+        path.write_text(self.SPEC)
+        return str(path)
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["plan", "x.yaml"])
+        assert args.json is False and args.url is None
+        args = build_parser().parse_args(["run-spec", "x.yaml"])
+        assert args.dry_run is False
+        assert args.output is None and args.plan_out is None
+        assert args.priority is None
+
+    def test_plan_requires_spec_path(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["plan"])
+
+    def test_plan_json_is_canonical(self, spec_path, capsys):
+        import json
+
+        assert main(["plan", spec_path, "--no-cache", "--json"]) == 0
+        parsed = json.loads(capsys.readouterr().out)
+        assert parsed["spec"]["name"] == "clitest"
+        assert parsed["totals"]["pending"] == 1
+        assert parsed["schedule"] == [["base", "BFS", "RM12"]]
+
+    def test_run_spec_writes_outputs(self, spec_path, tmp_path, capsys):
+        out = tmp_path / "cells.json"
+        plan_out = tmp_path / "plan.json"
+        code = main(
+            ["run-spec", spec_path, "--no-cache",
+             "-o", str(out), "--plan-out", str(plan_out)]
+        )
+        assert code == 0
+        assert out.read_text().startswith("[")
+        assert '"schedule"' in plan_out.read_text()
+        output = capsys.readouterr().out
+        assert "spec clitest" in output
+        assert "BFS" in output and "cycles" in output
+
+    def test_missing_spec_file_exit_2(self, tmp_path, capsys):
+        assert main(["plan", str(tmp_path / "nope.yaml")]) == 2
+        assert "spec error" in capsys.readouterr().err
+
+    def test_plan_and_run_spec_against_daemon(self, tmp_path, capsys):
+        from repro.harness.serve import DaemonConfig, SimulationDaemon
+
+        daemon = SimulationDaemon(
+            DaemonConfig(
+                port=0,
+                journal_path=str(tmp_path / "jobs.jsonl"),
+                cache_dir=str(tmp_path / "cache"),
+                poll_interval=0.01,
+                drain_timeout=1.0,
+            )
+        )
+        daemon.start()
+        try:
+            spec_path = tmp_path / "spec.yaml"
+            spec_path.write_text(
+                "name: clid\nalgorithms: [BFS]\ngraphs: [RM22]\n"
+            )
+            assert main(["plan", str(spec_path), "--url",
+                         daemon.base_url]) == 0
+            assert '"totals"' in capsys.readouterr().out
+
+            assert main(["run-spec", str(spec_path), "--url",
+                         daemon.base_url, "--priority", "2"]) == 0
+            body = capsys.readouterr().out
+            assert '"jobs"' in body
+
+            bad = tmp_path / "bad.yaml"
+            bad.write_text("name: x\nalgorithms: [NOPE]\ngraphs: [RM22]\n")
+            assert main(["plan", str(bad), "--url", daemon.base_url]) == 1
+            assert "daemon rejected plan (400)" in capsys.readouterr().err
+        finally:
+            daemon.stop(drain=False)

@@ -36,7 +36,7 @@ def _check_or_update(name: str, payload: str, update: bool) -> None:
     """Compare ``payload`` byte-for-byte against the named golden."""
     golden = GOLDEN_DIR / name
     if update:
-        GOLDEN_DIR.mkdir(exist_ok=True)
+        golden.parent.mkdir(parents=True, exist_ok=True)
         golden.write_text(payload)
         return
     if not golden.exists():
@@ -46,8 +46,8 @@ def _check_or_update(name: str, payload: str, update: bool) -> None:
         )
     expected = golden.read_text()
     if payload != expected:
-        DIFF_DIR.mkdir(parents=True, exist_ok=True)
         actual_path = DIFF_DIR / name
+        actual_path.parent.mkdir(parents=True, exist_ok=True)
         actual_path.write_text(payload)
         pytest.fail(
             f"golden mismatch for {name}: current output written to "
@@ -98,6 +98,49 @@ class TestMatrixGolden:
         with use_recorder(TraceRecorder()):
             traced = _matrix_json()
         _check_or_update("matrix_reports.json", traced, update=False)
+
+
+class TestPlanGolden:
+    """Pin the planner's canonical plan JSON, cold and warm.
+
+    The plan dict embeds the spec, the content-addressed cache key of
+    every grid cell, the reuse-ordered schedule, and the integer cost
+    model — so this golden catches drift in any of spec serialization,
+    cache-key derivation, classification, ordering, or cost estimation.
+    """
+
+    SPEC = (
+        "name: golden-plan\n"
+        "algorithms: [BFS, PR]\n"
+        "graphs: [RM12, RM13]\n"
+        "select: [cycles, gteps]\n"
+    )
+
+    def test_cold_plan_byte_identical(self, update_goldens):
+        from repro.harness import planner
+        from repro.harness.specs import parse_spec
+
+        spec = parse_spec(self.SPEC)
+        services = planner.services_for_spec(
+            spec, cache_dir=None, use_cache=False
+        )
+        payload = planner.canonical_plan_json(
+            planner.build_plan(spec, services)
+        )
+        _check_or_update("plans/plan_cold.json", payload, update_goldens)
+
+    def test_warm_plan_byte_identical(self, update_goldens, tmp_path):
+        from repro.harness import planner
+        from repro.harness.specs import parse_spec
+
+        spec = parse_spec(self.SPEC)
+        RunService(cache_dir=str(tmp_path)).matrix(["BFS"], ["RM12"])
+        services = planner.services_for_spec(spec, cache_dir=str(tmp_path))
+        payload = planner.canonical_plan_json(
+            planner.build_plan(spec, services)
+        )
+        assert str(tmp_path) not in payload  # no host paths in the plan
+        _check_or_update("plans/plan_warm.json", payload, update_goldens)
 
 
 class TestExporterGolden:

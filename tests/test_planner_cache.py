@@ -1,0 +1,201 @@
+"""Cache-awareness regression battery for the planner.
+
+The planner's whole reason to exist is that it consults the persistent
+content-addressed cache (and the daemon's in-flight set) *before*
+scheduling work.  These tests pin that behavior: warmed cells must drop
+out of the schedule cell-for-cell, a fully warm plan must execute with
+zero misses, and a mutated override config must bring its cells back.
+"""
+
+import pytest
+
+from repro.harness import planner
+from repro.harness.service import RunService, canonical_reports_json
+from repro.harness.specs import parse_spec
+
+SPEC_TEXT = (
+    "name: cachetest\n"
+    "algorithms: [BFS, PR]\n"
+    "graphs: [RM12, RM13]\n"
+)
+
+
+def _services(spec, cache_dir):
+    return planner.services_for_spec(spec, cache_dir=str(cache_dir))
+
+
+class TestCacheClassification:
+    def test_warm_half_grid_excludes_exactly_warmed_cells(self, tmp_path):
+        spec = parse_spec(SPEC_TEXT)
+        warm = RunService(cache_dir=str(tmp_path))
+        warm.matrix(["BFS"], ["RM12", "RM13"])  # warm half the grid
+
+        # Fresh services: only the persistent cache carries over.
+        plan = planner.build_plan(spec, _services(spec, tmp_path))
+        cached = {(c.algorithm, c.graph) for c in plan.cached}
+        pending = {(c.algorithm, c.graph) for c in plan.pending}
+        assert cached == {("BFS", "RM12"), ("BFS", "RM13")}
+        assert pending == {("PR", "RM12"), ("PR", "RM13")}
+        assert all(c.status == "cached-persistent" for c in plan.cached)
+        assert plan.schedule == plan.pending
+
+    def test_fully_warm_plan_schedules_nothing(self, tmp_path):
+        spec = parse_spec(SPEC_TEXT)
+        warm = RunService(cache_dir=str(tmp_path))
+        warm.matrix(["BFS", "PR"], ["RM12", "RM13"])
+
+        services = _services(spec, tmp_path)
+        plan = planner.build_plan(spec, services)
+        assert plan.schedule == []
+        assert plan.pending == []
+        assert len(plan.cached) == 4
+
+        # Executing a fully warm plan performs zero fresh simulations.
+        results = planner.execute_plan(plan, services)
+        service = services["base"]
+        assert service.stats.misses == 0
+        assert len(results) == 4
+        # ...and the replayed grid is byte-identical to the original.
+        assert canonical_reports_json(results) == canonical_reports_json(
+            warm.matrix(["BFS", "PR"], ["RM12", "RM13"])
+        )
+
+    def test_mutated_override_repopulates_pending(self, tmp_path):
+        """Changing a config must change cache keys: no stale reuse."""
+        base_spec = parse_spec(SPEC_TEXT)
+        services = _services(base_spec, tmp_path)
+        planner.execute_plan(
+            planner.build_plan(base_spec, services), services
+        )
+
+        mutated = parse_spec(
+            SPEC_TEXT
+            + "overrides:\n  - name: base\n    graphdyns:\n      n_simt: 4\n"
+        )
+        plan = planner.build_plan(mutated, _services(mutated, tmp_path))
+        # Every cell's backend set changed, so every cell is pending.
+        assert len(plan.pending) == 4
+        assert plan.cached == []
+
+    def test_probe_is_read_only(self, tmp_path):
+        spec = parse_spec(SPEC_TEXT)
+        services = _services(spec, tmp_path)
+        planner.build_plan(spec, services)
+        service = services["base"]
+        assert service.stats.misses == 0
+        assert service.stats.hits == 0
+        assert not any(tmp_path.iterdir())  # nothing written
+
+
+class TestInflightClassification:
+    def test_inflight_keys_removed_from_schedule(self, tmp_path):
+        spec = parse_spec(SPEC_TEXT)
+        services = _services(spec, tmp_path)
+        cold = planner.build_plan(spec, services)
+        assert len(cold.pending) == 4
+
+        # Pretend the daemon is already running two of the cells.
+        running = frozenset(c.cache_key for c in cold.cells[:2])
+        plan = planner.build_plan(spec, services, inflight_keys=running)
+        assert {c.cache_key for c in plan.inflight} == set(running)
+        assert len(plan.pending) == 2
+        assert all(c.cache_key not in running for c in plan.schedule)
+        # Inflight work still counts as saved cost, not pending cost.
+        totals = planner.plan_to_dict(plan)["totals"]
+        assert totals["pending_cost"] < totals["total_cost"]
+        assert (
+            totals["saved_cost"]
+            == totals["total_cost"] - totals["pending_cost"]
+        )
+
+    def test_cached_wins_over_inflight(self, tmp_path):
+        spec = parse_spec(SPEC_TEXT)
+        warm = RunService(cache_dir=str(tmp_path))
+        warm.matrix(["BFS"], ["RM12"])
+
+        services = _services(spec, tmp_path)
+        cold = planner.build_plan(spec, services)
+        key = next(
+            c.cache_key
+            for c in cold.cells
+            if (c.algorithm, c.graph) == ("BFS", "RM12")
+        )
+        plan = planner.build_plan(
+            spec, services, inflight_keys=frozenset([key])
+        )
+        cell = next(
+            c
+            for c in plan.cells
+            if (c.algorithm, c.graph) == ("BFS", "RM12")
+        )
+        assert cell.status == "cached-persistent"
+        assert plan.inflight == []
+
+
+class TestDryRunCli:
+    def test_dry_run_schedules_zero_work(self, tmp_path, capsys):
+        from repro.cli import main
+
+        spec_path = tmp_path / "s.yaml"
+        spec_path.write_text(SPEC_TEXT)
+        cache = tmp_path / "cache"
+        cache.mkdir()
+        rc = main(
+            [
+                "run-spec",
+                str(spec_path),
+                "--cache-dir",
+                str(cache),
+                "--dry-run",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "4 pending" in out
+        assert not any(cache.iterdir())  # dry run executed nothing
+
+    def test_plan_command_is_read_only(self, tmp_path, capsys):
+        from repro.cli import main
+
+        spec_path = tmp_path / "s.yaml"
+        spec_path.write_text(SPEC_TEXT)
+        cache = tmp_path / "cache"
+        cache.mkdir()
+        rc = main(["plan", str(spec_path), "--cache-dir", str(cache)])
+        assert rc == 0
+        assert "pending" in capsys.readouterr().out
+        assert not any(cache.iterdir())
+
+    def test_spec_error_exit_code(self, tmp_path, capsys):
+        from repro.cli import main
+
+        spec_path = tmp_path / "bad.yaml"
+        spec_path.write_text("name: x\nalgorithms: [NOPE]\n")
+        rc = main(["plan", str(spec_path), "--no-cache"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "NOPE" in err
+        assert "Traceback" not in err
+
+
+class TestObsCounters:
+    def test_planner_counters_recorded(self, tmp_path):
+        from repro.obs import TraceRecorder, use_recorder
+
+        spec = parse_spec(SPEC_TEXT)
+        warm = RunService(cache_dir=str(tmp_path))
+        warm.matrix(["BFS"], ["RM12"])
+
+        rec = TraceRecorder()
+        with use_recorder(rec):
+            planner.build_plan(spec, _services(spec, tmp_path))
+        counters = {
+            name: c.value for name, c in rec.instruments.counters.items()
+        }
+        assert counters["planner.cells.cached"] == 1
+        assert counters["planner.cells.pending"] == 3
+        assert counters["planner.cells.inflight"] == 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(pytest.main([__file__, "-q"]))
