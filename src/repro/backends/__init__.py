@@ -19,6 +19,7 @@ from .registry import (
     unregister,
 )
 from .builtin import (
+    DCABackend,
     GraphDynSBackend,
     GraphicionadoBackend,
     GunrockBackend,
@@ -36,6 +37,7 @@ __all__ = [
     "available",
     "available_keys",
     "is_registered",
+    "DCABackend",
     "GraphDynSBackend",
     "GraphicionadoBackend",
     "GunrockBackend",

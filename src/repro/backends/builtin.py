@@ -1,16 +1,20 @@
-"""Adapters for the three systems of the paper's evaluation (Table 3).
+"""Adapters for the built-in systems: the paper's three, plus DCA.
 
 Each adapter is a thin shim: the physics lives in the system packages,
 the adapter owns naming, config plumbing, and the energy hookup.
-Importing this module registers all three, in the figures' presentation
-order (GraphDynS, Graphicionado, Gunrock is *registration* order;
-figures themselves pick their own column order).
+Importing this module registers all four — the paper's evaluation trio
+in the figures' presentation order (GraphDynS, Graphicionado, Gunrock),
+then the DCA follow-up (arXiv:2202.11343), which the figures omit so
+the paper's three-system columns stay untouched.
 """
 
 from __future__ import annotations
 
+from ..dca.config import DCA_CONFIG, DCAConfig
+from ..dca.timing import DCATimingModel
 from ..energy.model import (
     EnergyReport,
+    dca_energy,
     gpu_energy_report,
     graphdyns_energy,
     graphicionado_energy,
@@ -31,6 +35,7 @@ __all__ = [
     "GraphDynSBackend",
     "GraphicionadoBackend",
     "GunrockBackend",
+    "DCABackend",
     "register_builtin_backends",
 ]
 
@@ -88,11 +93,29 @@ class GunrockBackend(BaseBackend):
         return gpu_energy_report(report, self.config.average_power_w)
 
 
+class DCABackend(BaseBackend):
+    """The follow-up decentralized-datapath accelerator (arXiv:2202.11343)."""
+
+    name = "DCA"
+
+    def __init__(self, config: DCAConfig = DCA_CONFIG) -> None:
+        self.config = config
+
+    def make_observer(
+        self, graph: CSRGraph, spec: AlgorithmSpec
+    ) -> DCATimingModel:
+        return DCATimingModel(graph, spec, self.config)
+
+    def energy(self, report: RunReport) -> EnergyReport:
+        return dca_energy(report)
+
+
 def register_builtin_backends(replace: bool = True) -> None:
-    """(Re-)register the three built-in systems."""
+    """(Re-)register the four built-in systems."""
     register("GraphDynS", GraphDynSBackend, replace=replace)
     register("Graphicionado", GraphicionadoBackend, replace=replace)
     register("Gunrock", GunrockBackend, replace=replace)
+    register("DCA", DCABackend, replace=replace)
 
 
 register_builtin_backends()

@@ -545,6 +545,31 @@ def build_parser() -> argparse.ArgumentParser:
     validate.add_argument("--vertices", type=int, default=200)
     validate.add_argument("--edges", type=int, default=1000)
 
+    churn = sub.add_parser(
+        "churn",
+        help="evolving-graph session: apply deterministic churn batches "
+        "and compare incremental recomputation against full reruns",
+    )
+    churn.add_argument("--graph", default="FR", help="base dataset key")
+    churn.add_argument(
+        "--algo", default="BFS", choices=algorithm_names(), help="algorithm"
+    )
+    churn.add_argument(
+        "--batches", type=int, default=8, help="churn batches to apply"
+    )
+    churn.add_argument(
+        "--batch-edges", type=int, default=64, help="edge mutations per batch"
+    )
+    churn.add_argument(
+        "--insert-fraction",
+        type=float,
+        default=0.5,
+        help="fraction of each batch that inserts (the rest deletes); "
+        "1.0 keeps every step on the frontier-delta path (default: 0.5)",
+    )
+    churn.add_argument("--seed", type=int, default=0, help="churn trace seed")
+    churn.add_argument("--source", type=int, default=0, help="source vertex")
+
     return parser
 
 
@@ -1151,6 +1176,96 @@ def _cmd_run_spec(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_churn(args: argparse.Namespace) -> int:
+    import time
+
+    from .graph import dynamic
+    from .metrics.counters import ChurnStats
+    from .vcpm import run_vcpm, run_vcpm_incremental
+
+    base = datasets.load(args.graph)
+    key = f"{datasets.resolve_key(args.graph)}-CHURN"
+    dyn = dynamic.DynamicGraph(base, key=key)
+    dynamic.register(dyn, replace=True)
+    spec = get_algorithm(args.algo)
+    stats = ChurnStats()
+    rows = []
+    try:
+        previous = run_vcpm(dyn.graph, spec, source=args.source)
+        batches = dynamic.churn_batches(
+            dyn.graph,
+            num_batches=args.batches,
+            batch_edges=args.batch_edges,
+            insert_fraction=args.insert_fraction,
+            seed=args.seed,
+        )
+        for index, batch in enumerate(batches):
+            dyn.apply(batch)
+            stats.record_batch(batch)
+            t0 = time.perf_counter()
+            outcome = run_vcpm_incremental(
+                dyn.graph, spec, batch, previous, source=args.source
+            )
+            incremental_s = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            reference = run_vcpm(dyn.graph, spec, source=args.source)
+            full_s = time.perf_counter() - t0
+            identical = (
+                outcome.result.properties.tobytes()
+                == reference.properties.tobytes()
+            )
+            stats.record(outcome)
+            rows.append(
+                [
+                    index,
+                    outcome.mode,
+                    outcome.seed_count,
+                    outcome.result.num_iterations,
+                    f"{incremental_s * 1e3:.2f}",
+                    f"{full_s * 1e3:.2f}",
+                    f"{full_s / max(incremental_s, 1e-9):.2f}x",
+                    identical,
+                ]
+            )
+            if not identical:
+                print(
+                    f"ERROR: batch {index}: incremental result diverged "
+                    "from the full rerun"
+                )
+                return 1
+            previous = outcome.result
+    finally:
+        dynamic.unregister(key)
+    print(
+        render_table(
+            [
+                "batch",
+                "mode",
+                "seeds",
+                "iters",
+                "incr (ms)",
+                "full (ms)",
+                "speedup",
+                "bit-identical",
+            ],
+            rows,
+            title=f"{args.algo} on {args.graph} under churn "
+            f"({args.batch_edges} edges/batch, "
+            f"{args.insert_fraction:.0%} inserts)",
+        )
+    )
+    print(
+        f"\n{stats.batches_applied} batches "
+        f"(+{stats.edges_inserted}/-{stats.edges_deleted} edges), "
+        f"generation {dyn.generation}; "
+        f"delta path on {stats.delta_runs}/{stats.steps} steps "
+        f"({stats.delta_fraction:.0%}), "
+        f"{stats.delta_edges_processed:,} vs "
+        f"{stats.full_edges_processed:,} edges processed"
+    )
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
@@ -1169,6 +1284,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "backends": _cmd_backends,
         "datasets": _cmd_datasets,
         "validate": _cmd_validate,
+        "churn": _cmd_churn,
     }
     return handlers[args.command](args)
 

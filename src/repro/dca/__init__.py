@@ -1,0 +1,13 @@
+"""DCA: decentralized-datapath graph accelerator model (arXiv:2202.11343).
+
+The same group's follow-up to GraphDynS replaces the centralized
+dispatcher/crossbar/updater pipeline with an array of identical lanes,
+each owning an interleaved vertex shard and its full datapath.  This
+package models it as the registry's fourth backend, directly comparable
+to GraphDynS on every figure.
+"""
+
+from .config import DCA_CONFIG, DCAConfig
+from .timing import DCATimingModel
+
+__all__ = ["DCAConfig", "DCA_CONFIG", "DCATimingModel"]

@@ -1,0 +1,73 @@
+"""DCA hardware configuration (arXiv:2202.11343, Table-3-equivalent).
+
+The DCA follow-up keeps GraphDynS's aggregate resources — 1 GHz clock,
+128 execution lanes, 32 MB of on-chip vertex storage, HBM 1.0 at
+512 GB/s — but *decentralizes* them: instead of a 16-PE processor
+feeding a 128-UE updater through a central 128-radix crossbar, the chip
+is an array of identical lanes, each owning an interleaved shard of the
+vertex space and its whole datapath (process-edge ALU, reduce unit,
+apply unit, vertex-buffer bank).  Cross-lane traffic rides a light
+ring/mesh router instead of the crossbar, and reduce conflicts resolve
+*inside* the owning lane by operand forwarding, never by stalling a
+shared structure.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..memory.hbm import HBM1_512GBS, HBMConfig
+
+__all__ = ["DCAConfig", "DCA_CONFIG"]
+
+
+@dataclasses.dataclass(frozen=True)
+class DCAConfig:
+    """Tunable parameters of the DCA model.
+
+    Attributes:
+        num_lanes: independent datapath lanes; each owns the vertices
+            ``v`` with ``v % num_lanes == lane`` (interleaved sharding).
+        n_simt: SIMT width of each lane's process-edge stage (so
+            aggregate edge throughput matches GraphDynS's 128 lanes).
+        e_threshold: edge-list split threshold for balanced dispatch —
+            dispatch itself is decentralized (each lane pulls work), but
+            oversized lists are still split for balance.
+        e_list_size: sub-list granularity after a split.
+        vb_bytes_per_lane: per-lane vertex-buffer bank (aggregate 32 MB).
+        bitmap_block_size: vertices per ready-to-update bitmap bit; the
+            bitmap is banked per lane, not centralized.
+        au_queue_entries: per-lane activation coalescing queue depth.
+        active_record_bytes: bytes per ``(vid, prop)`` activation record.
+        router_hop_cycles: added latency of a cross-lane reduce hop.
+    """
+
+    frequency_hz: float = 1e9
+    num_lanes: int = 16
+    n_simt: int = 8
+    e_threshold: int = 128
+    e_list_size: int = 16
+    vb_bytes_per_lane: int = 2 * 1024 * 1024
+    bitmap_block_size: int = 256
+    au_queue_entries: int = 16
+    active_record_bytes: int = 12
+    router_hop_cycles: float = 2.0
+    hbm: HBMConfig = HBM1_512GBS
+
+    @property
+    def total_lanes(self) -> int:
+        """Aggregate edge throughput per cycle (matches GraphDynS's 128)."""
+        return self.num_lanes * self.n_simt
+
+    @property
+    def vb_total_bytes(self) -> int:
+        """Aggregate vertex-buffer capacity (32 MB)."""
+        return self.num_lanes * self.vb_bytes_per_lane
+
+    def with_num_lanes(self, num_lanes: int) -> "DCAConfig":
+        """A copy with a different lane count (scaling studies)."""
+        return dataclasses.replace(self, num_lanes=num_lanes)
+
+
+#: The configuration used throughout the evaluation.
+DCA_CONFIG = DCAConfig()

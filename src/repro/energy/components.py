@@ -18,6 +18,7 @@ from typing import Dict
 
 __all__ = [
     "ComponentBudget",
+    "DCA_BUDGET",
     "GRAPHDYNS_BUDGET",
     "GRAPHICIONADO_BUDGET",
     "HBM_PJ_PER_BIT",
@@ -70,6 +71,30 @@ GRAPHDYNS_BUDGET = ComponentBudget(
         "Processor": 0.08,
         "Updater": 0.895,
         "Prefetcher": 0.02,
+    },
+)
+
+#: The DCA follow-up keeps GraphDynS's aggregate lanes and buffering but
+#: deletes the centralized structures (128-radix crossbar, central
+#: dispatcher front-end), whose arbitration logic dominates the Updater's
+#: power share; a light ring router replaces them.  Budget derived from
+#: the Fig. 8 split: Updater power shrinks by the crossbar's share,
+#: everything else carries over at GraphDynS magnitudes.
+DCA_BUDGET = ComponentBudget(
+    name="DCA",
+    total_power_w=2.92,
+    total_area_mm2=9.84,
+    power_shares={
+        "Lanes": 0.66,
+        "Router": 0.09,
+        "Prefetcher": 0.05,
+        "VertexBuffers": 0.20,
+    },
+    area_shares={
+        "Lanes": 0.18,
+        "Router": 0.04,
+        "Prefetcher": 0.02,
+        "VertexBuffers": 0.76,
     },
 )
 

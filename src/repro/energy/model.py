@@ -13,6 +13,7 @@ from typing import Dict
 
 from ..metrics.counters import RunReport
 from .components import (
+    DCA_BUDGET,
     GRAPHDYNS_BUDGET,
     GRAPHICIONADO_BUDGET,
     HBM_PJ_PER_BIT,
@@ -108,3 +109,8 @@ def graphdyns_energy(report: RunReport) -> EnergyReport:
 def graphicionado_energy(report: RunReport) -> EnergyReport:
     """Convenience wrapper with the derived Graphicionado budget."""
     return energy_report(report, GRAPHICIONADO_BUDGET)
+
+
+def dca_energy(report: RunReport) -> EnergyReport:
+    """Convenience wrapper with the derived DCA budget."""
+    return energy_report(report, DCA_BUDGET)

@@ -24,6 +24,7 @@ import warnings
 from collections import ChainMap
 from typing import Dict, List, Optional, Tuple
 
+from . import dynamic as _dynamic
 from .csr import CSRGraph
 from .generators import rmat_edge_chunks, power_law_graph, rmat_graph
 from .storage import (
@@ -48,6 +49,9 @@ __all__ = [
     "available",
     "fingerprint",
     "clear_cache",
+    "is_static_key",
+    "is_dynamic",
+    "generation",
     "SpillCleanupWarning",
 ]
 
@@ -261,24 +265,66 @@ class SpillCleanupWarning(UserWarning):
 _cleanup_warned = False
 
 
+def is_static_key(key: str) -> bool:
+    """Whether ``key`` names a static registry entry or alias.
+
+    Exists so the dynamic layer can check for collisions without going
+    through :func:`resolve_key` (which would recurse into lazy churn-key
+    materialization).
+    """
+    folded = key.upper()
+    return folded in _REGISTRY or folded in ALIASES
+
+
 def resolve_key(key: str) -> str:
     """Canonical registry key for ``key`` (case-insensitive, aliases ok).
 
-    Resolves proxy datasets, paper-scale ``*-FULL`` datasets, and the
-    proxy-scale RMAT aliases.
+    Resolves proxy datasets, paper-scale ``*-FULL`` datasets, the
+    proxy-scale RMAT aliases, registered dynamic graphs, and derived
+    churn keys (``FR~C4`` = dataset ``FR`` after 4 deterministic churn
+    batches — materialized lazily and registered on first resolution).
 
     Raises:
-        KeyError: the key matches neither a registry entry nor an alias.
+        KeyError: the key matches neither a registry entry, an alias,
+            a dynamic registration, nor the churn-key naming scheme.
     """
     folded = key.upper()
     if folded in _REGISTRY:
         return folded
     if folded in ALIASES:
         return ALIASES[folded]
+    if _dynamic.is_registered(folded):
+        return folded
+    if _dynamic.materialize_churn_key(folded) is not None:
+        return folded
     raise KeyError(
         f"unknown dataset {key!r}; available: {sorted(_REGISTRY)} "
-        f"(aliases: {sorted(ALIASES)})"
+        f"(aliases: {sorted(ALIASES)}; "
+        f"dynamic: {_dynamic.registered_keys()})"
     )
+
+
+def is_dynamic(key: str) -> bool:
+    """Whether ``key`` resolves to a registered dynamic graph.
+
+    Unlike :func:`resolve_key` this never materializes derived churn
+    keys — it only reports what is registered *now*.
+    """
+    folded = key.upper()
+    return _dynamic.is_registered(folded) and not is_static_key(folded)
+
+
+def generation(key: str) -> int:
+    """Current mutation generation of a dynamic dataset.
+
+    Static datasets are immutable by construction; their generation is
+    defined as 0 forever.
+    """
+    folded = key.upper()
+    if _dynamic.is_registered(folded):
+        return _dynamic.get(folded).generation
+    resolve_key(folded)  # raise KeyError on unknown keys
+    return 0
 
 
 def get_spec(key: str) -> DatasetSpec:
@@ -287,10 +333,26 @@ def get_spec(key: str) -> DatasetSpec:
     The public registry accessor: gives planners and cost models the
     proxy vertex/edge counts without loading (or building) the graph.
 
+    Dynamic graphs get a synthetic spec whose proxy dimensions track the
+    *current* snapshot, so planner cost estimates stay truthful as the
+    graph churns.
+
     Raises:
         KeyError: the key matches neither a registry entry nor an alias.
     """
-    return _REGISTRY[resolve_key(key)]
+    folded = resolve_key(key)
+    if folded in _REGISTRY:
+        return _REGISTRY[folded]
+    dyn = _dynamic.get(folded)
+    return DatasetSpec(
+        key=dyn.key,
+        full_name=f"{dyn.key} (dynamic, generation {dyn.generation})",
+        paper_vertices=dyn.num_vertices,
+        paper_edges=dyn.num_edges,
+        proxy_vertices=dyn.num_vertices,
+        proxy_edges=dyn.num_edges,
+        description="Evolving graph (batched edge churn)",
+    )
 
 
 def load(key: str, use_cache: bool = True, storage: str = "memory") -> CSRGraph:
@@ -319,6 +381,12 @@ def load(key: str, use_cache: bool = True, storage: str = "memory") -> CSRGraph:
         raise ValueError(
             f"unknown storage kind {storage!r}; expected one of {STORAGE_KINDS}"
         )
+    if key not in _REGISTRY:
+        # Dynamic graph: always hand out the live snapshot.  The memo
+        # would serve stale pre-mutation arrays, and spilling a mutable
+        # graph to mmap would freeze it, so both are bypassed — content
+        # is storage-independent here by construction (always resident).
+        return _dynamic.get(key).graph
     cache_key = (key, storage)
     if use_cache:
         with _cache_lock:
@@ -405,15 +473,26 @@ def fingerprint(key: str) -> str:
     loads produce identical arrays, hence identical fingerprints.
     """
     key = resolve_key(key)
-    payload = dataclasses.asdict(_REGISTRY[key])
-    payload["proxy_scale"] = PROXY_SCALE
-    payload["storage_format"] = STORAGE_FORMAT_VERSION
+    if key not in _REGISTRY:
+        # Dynamic graphs fingerprint by *content* (a digest of the
+        # current CSR arrays, memoized under the generation counter).
+        # Mutating the graph changes the fingerprint — and with it every
+        # run-service cache key — while applying a batch and then its
+        # inverse restores the original fingerprint, legitimately
+        # re-addressing results computed for the original content.
+        payload = _dynamic.get(key).fingerprint_payload()
+    else:
+        payload = dataclasses.asdict(_REGISTRY[key])
+        payload["proxy_scale"] = PROXY_SCALE
+        payload["storage_format"] = STORAGE_FORMAT_VERSION
     text = json.dumps(payload, sort_keys=True, default=repr)
     return hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]
 
 
 def available(
-    include_aliases: bool = False, include_paper_scale: bool = False
+    include_aliases: bool = False,
+    include_paper_scale: bool = False,
+    include_dynamic: bool = False,
 ) -> List[str]:
     """Registered dataset keys in Table 4 order.
 
@@ -421,10 +500,14 @@ def available(
         include_aliases: append the proxy-scale RMAT aliases
             (``RM12``..``RM16``) after the canonical keys.
         include_paper_scale: append the paper-scale ``*-FULL`` keys.
+        include_dynamic: append registered dynamic-graph keys (in
+            registration order).
     """
     keys = list(DATASETS)
     if include_aliases:
         keys.extend(sorted(ALIASES))
     if include_paper_scale:
         keys.extend(PAPER_DATASETS)
+    if include_dynamic:
+        keys.extend(_dynamic.registered_keys())
     return keys

@@ -1,0 +1,617 @@
+"""Evolving graphs: batched edge churn over CSR with generation counters.
+
+The paper's Table 4 operating points are all *static* snapshots.  This
+module opens the evolving-graph workload axis (ROADMAP item 3b, after
+Gunrock's frontier-delta formulation, arXiv:1701.01170): a
+:class:`DynamicGraph` wraps a CSR snapshot and applies *batches* of edge
+insertions/deletions, advancing a strictly monotone **generation
+counter** with every batch (the generation-based invalidation design of
+SNIPPETS.md snippet 2).
+
+Three invariants make the rest of the platform sound as graphs mutate:
+
+* **Canonical edge order.**  After every mutation the snapshot's edges
+  are re-sorted into the canonical ``(src, dst, weight)`` order, so the
+  CSR arrays are a pure function of the edge *multiset*.  Applying a
+  batch and then its :meth:`EdgeBatch.inverse` therefore restores the
+  exact original arrays — and the exact original fingerprint.
+* **Content fingerprints, invalidated by generation.**  Each snapshot
+  carries a sha256 of its arrays, recomputed exactly when the generation
+  advances (never per read).  ``datasets.fingerprint()`` folds it into
+  the run-service cache keys, so a mutated graph can never serve a stale
+  cell, while an apply+inverse round trip legitimately re-addresses the
+  original cached result.
+* **Fixed vertex set.**  Batches mutate edges only; ``num_vertices``
+  never changes, which keeps property arrays, slicing plans, and source
+  vertices valid across generations.
+
+Deterministic churn traces (:func:`churn_batches`) and the derived
+``<BASE>~C<N>`` dataset naming scheme (:func:`derive_churned`) make
+evolving-graph experiments reproducible from a key alone.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import re
+import threading
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from .csr import CSRGraph, GraphError
+
+__all__ = [
+    "DYNAMIC_SCHEMA_VERSION",
+    "CHURN_KEY_RE",
+    "DynamicGraphError",
+    "EdgeBatch",
+    "DynamicGraph",
+    "churn_batches",
+    "derive_churned",
+    "register",
+    "unregister",
+    "get",
+    "is_registered",
+    "registered_keys",
+]
+
+#: Version of the mutation/canonicalization semantics.  Folded into
+#: dynamic dataset fingerprints so cache entries cannot survive a change
+#: to how batches are applied.
+DYNAMIC_SCHEMA_VERSION = 1
+
+#: Derived churned-dataset keys: ``FR~C4`` is dataset ``FR`` after 4
+#: deterministic churn batches (see :func:`derive_churned`).
+CHURN_KEY_RE = re.compile(r"^(?P<base>[A-Z0-9\-]+)~C(?P<batches>[0-9]+)$")
+
+
+class DynamicGraphError(ValueError):
+    """Raised when a batch is malformed or references absent edges."""
+
+
+def _as_pairs(pairs, what: str) -> np.ndarray:
+    arr = np.asarray(pairs, dtype=np.int64)
+    if arr.size == 0:
+        return arr.reshape(0, 2)
+    if arr.ndim != 2 or arr.shape[1] != 2:
+        raise DynamicGraphError(f"{what} must be an (N, 2) array of (src, dst)")
+    return arr
+
+
+@dataclasses.dataclass(frozen=True)
+class EdgeBatch:
+    """One churn step: edges to insert and edges to delete.
+
+    Deletes identify edges by the full ``(src, dst, weight)`` triple, so
+    a batch is exactly invertible: :meth:`inverse` re-inserts what was
+    deleted (with the original weights) and deletes what was inserted.
+
+    Attributes:
+        inserts: ``(K, 2)`` int64 array of ``(src, dst)`` pairs to add.
+        insert_weights: ``(K,)`` float32 weights of the inserted edges.
+        deletes: ``(M, 2)`` int64 array of ``(src, dst)`` pairs to remove.
+        delete_weights: ``(M,)`` float32 weights identifying the removed
+            edges (one matching occurrence is removed per entry).
+    """
+
+    inserts: np.ndarray
+    insert_weights: np.ndarray
+    deletes: np.ndarray
+    delete_weights: np.ndarray
+
+    def __post_init__(self) -> None:
+        inserts = _as_pairs(self.inserts, "inserts")
+        deletes = _as_pairs(self.deletes, "deletes")
+        ins_w = np.asarray(self.insert_weights, dtype=np.float32)
+        del_w = np.asarray(self.delete_weights, dtype=np.float32)
+        if ins_w.shape != (inserts.shape[0],):
+            raise DynamicGraphError("insert_weights must be parallel to inserts")
+        if del_w.shape != (deletes.shape[0],):
+            raise DynamicGraphError("delete_weights must be parallel to deletes")
+        object.__setattr__(self, "inserts", inserts)
+        object.__setattr__(self, "insert_weights", ins_w)
+        object.__setattr__(self, "deletes", deletes)
+        object.__setattr__(self, "delete_weights", del_w)
+
+    @classmethod
+    def of(
+        cls,
+        inserts=(),
+        insert_weights: Optional[np.ndarray] = None,
+        deletes=(),
+        delete_weights: Optional[np.ndarray] = None,
+    ) -> "EdgeBatch":
+        """Convenience constructor; missing insert weights default to 1."""
+        ins = _as_pairs(inserts, "inserts")
+        dels = _as_pairs(deletes, "deletes")
+        if insert_weights is None:
+            insert_weights = np.ones(ins.shape[0], dtype=np.float32)
+        if delete_weights is None:
+            delete_weights = np.ones(dels.shape[0], dtype=np.float32)
+        return cls(ins, insert_weights, dels, delete_weights)
+
+    @property
+    def num_inserts(self) -> int:
+        return int(self.inserts.shape[0])
+
+    @property
+    def num_deletes(self) -> int:
+        return int(self.deletes.shape[0])
+
+    @property
+    def size(self) -> int:
+        return self.num_inserts + self.num_deletes
+
+    @property
+    def insert_only(self) -> bool:
+        """Whether the batch grows the edge set monotonically.
+
+        Insert-only batches are the ones the incremental engine can
+        recompute from frontier deltas (monotone fixpoints only shrink
+        toward the new optimum); any deletion forces a full rerun.
+        """
+        return self.num_deletes == 0
+
+    def inverse(self) -> "EdgeBatch":
+        """The batch that exactly undoes this one."""
+        return EdgeBatch(
+            inserts=self.deletes,
+            insert_weights=self.delete_weights,
+            deletes=self.inserts,
+            delete_weights=self.insert_weights,
+        )
+
+    def touched_vertices(self) -> np.ndarray:
+        """Sorted unique endpoints of every inserted/deleted edge."""
+        parts = [self.inserts.ravel(), self.deletes.ravel()]
+        flat = np.concatenate(parts) if parts else np.zeros(0, dtype=np.int64)
+        return np.unique(flat)
+
+    def seed_vertices(self) -> np.ndarray:
+        """Sorted unique *sources* of inserted edges.
+
+        Re-scattering exactly these vertices is sufficient to reach the
+        new monotone fixpoint after an insert-only batch: new edges only
+        emanate from them, and any improved destination re-activates
+        through the normal frontier mechanics.
+        """
+        if self.num_inserts == 0:
+            return np.zeros(0, dtype=np.int64)
+        return np.unique(self.inserts[:, 0])
+
+    def digest(self) -> str:
+        """Stable short digest of the batch content."""
+        h = hashlib.sha256()
+        for arr in (
+            self.inserts,
+            self.insert_weights,
+            self.deletes,
+            self.delete_weights,
+        ):
+            h.update(np.ascontiguousarray(arr).tobytes())
+        return h.hexdigest()[:16]
+
+
+def _canonical_csr(
+    num_vertices: int,
+    src: np.ndarray,
+    dst: np.ndarray,
+    weights: np.ndarray,
+    name: str,
+) -> CSRGraph:
+    """CSR in canonical ``(src, dst, weight)`` lexicographic edge order."""
+    order = np.lexsort((weights, dst, src))
+    src = src[order]
+    dst = dst[order]
+    weights = weights[order]
+    offsets = np.zeros(num_vertices + 1, dtype=np.int64)
+    np.add.at(offsets, src + 1, 1)
+    offsets = np.cumsum(offsets)
+    return CSRGraph(offsets=offsets, edges=dst, weights=weights, name=name)
+
+
+def _content_fingerprint(graph: CSRGraph) -> str:
+    h = hashlib.sha256()
+    h.update(np.int64(graph.num_vertices).tobytes())
+    h.update(np.ascontiguousarray(graph.offsets).tobytes())
+    h.update(np.ascontiguousarray(graph.edges).tobytes())
+    h.update(np.ascontiguousarray(graph.weights).tobytes())
+    return h.hexdigest()[:16]
+
+
+def _remove_multiset(
+    src: np.ndarray,
+    dst: np.ndarray,
+    weights: np.ndarray,
+    del_pairs: np.ndarray,
+    del_weights: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Remove one matching occurrence per delete triple (vectorized).
+
+    Raises:
+        DynamicGraphError: a delete names more occurrences of a triple
+            than the graph holds.
+    """
+    order = np.lexsort((weights, dst, src))
+    s_s, s_d, s_w = src[order], dst[order], weights[order]
+
+    dorder = np.lexsort((del_weights, del_pairs[:, 1], del_pairs[:, 0]))
+    d_s = del_pairs[dorder, 0]
+    d_d = del_pairs[dorder, 1]
+    d_w = del_weights[dorder]
+
+    keep = np.ones(src.size, dtype=bool)
+    i = 0
+    while i < d_s.size:
+        j = i
+        while (
+            j + 1 < d_s.size
+            and d_s[j + 1] == d_s[i]
+            and d_d[j + 1] == d_d[i]
+            and d_w[j + 1] == d_w[i]
+        ):
+            j += 1
+        count = j - i + 1
+        # Range of matching edges in the sorted triple arrays.
+        lo = int(np.searchsorted(s_s, d_s[i], side="left"))
+        hi = int(np.searchsorted(s_s, d_s[i], side="right"))
+        seg_d = s_d[lo:hi]
+        d_lo = lo + int(np.searchsorted(seg_d, d_d[i], side="left"))
+        d_hi = lo + int(np.searchsorted(seg_d, d_d[i], side="right"))
+        seg_w = s_w[d_lo:d_hi]
+        w_lo = d_lo + int(np.searchsorted(seg_w, d_w[i], side="left"))
+        w_hi = d_lo + int(np.searchsorted(seg_w, d_w[i], side="right"))
+        available = w_hi - w_lo
+        if available < count:
+            raise DynamicGraphError(
+                f"cannot delete edge ({int(d_s[i])}, {int(d_d[i])}, "
+                f"{float(d_w[i])}): {count} requested, {available} present"
+            )
+        keep[order[w_lo:w_lo + count]] = False
+        i = j + 1
+    return src[keep], dst[keep], weights[keep]
+
+
+class DynamicGraph:
+    """A mutable graph: a canonical CSR snapshot plus a generation counter.
+
+    Thread-safe for the registry surfaces that read it concurrently with
+    mutation (snapshot, generation, and fingerprint reads are atomic
+    swaps under a lock).
+    """
+
+    def __init__(self, graph: CSRGraph, key: Optional[str] = None) -> None:
+        self.key = (key or graph.name).upper()
+        sources = graph.edge_sources()
+        self._lock = threading.Lock()
+        self._graph = _canonical_csr(
+            graph.num_vertices,
+            sources,
+            np.asarray(graph.edges),
+            np.asarray(graph.weights),
+            self.key,
+        )
+        self._generation = 0
+        self._content_fp = _content_fingerprint(self._graph)
+        #: Digest breadcrumbs of every applied batch, for audit.
+        self.history: List[str] = []
+        #: Set by :func:`derive_churned` for keys materialized from the
+        #: ``<BASE>~C<N>`` naming scheme.
+        self.derived_from: Optional[Tuple[str, int, int, int]] = None
+
+    # ------------------------------------------------------------------
+    # Snapshot accessors
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> CSRGraph:
+        """The current immutable CSR snapshot (canonical edge order)."""
+        with self._lock:
+            return self._graph
+
+    @property
+    def generation(self) -> int:
+        """Strictly monotone mutation counter (0 at registration)."""
+        with self._lock:
+            return self._generation
+
+    @property
+    def content_fingerprint(self) -> str:
+        """sha256 digest of the snapshot arrays.
+
+        Recomputed exactly when :attr:`generation` advances — the
+        generation counter *is* the invalidation tag for this memo — so
+        reading it is O(1) no matter how large the graph is.
+        """
+        with self._lock:
+            return self._content_fp
+
+    @property
+    def num_vertices(self) -> int:
+        return self.graph.num_vertices
+
+    @property
+    def num_edges(self) -> int:
+        return self.graph.num_edges
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def apply(self, batch: EdgeBatch) -> np.ndarray:
+        """Apply one batch; returns the touched (endpoint) vertex ids.
+
+        Every apply — even of an empty batch — advances the generation
+        by exactly one, rebuilds the canonical snapshot, and refreshes
+        the content fingerprint.
+
+        Raises:
+            DynamicGraphError: an endpoint is out of range or a delete
+                references an edge the graph does not contain.
+        """
+        with self._lock:
+            graph = self._graph
+            num_vertices = graph.num_vertices
+            for pairs, what in ((batch.inserts, "insert"), (batch.deletes, "delete")):
+                if pairs.size and (
+                    pairs.min() < 0 or pairs.max() >= num_vertices
+                ):
+                    raise DynamicGraphError(
+                        f"{what} endpoint out of range for V={num_vertices}"
+                    )
+            src = graph.edge_sources()
+            dst = np.asarray(graph.edges)
+            wts = np.asarray(graph.weights)
+            if batch.num_deletes:
+                src, dst, wts = _remove_multiset(
+                    src, dst, wts, batch.deletes, batch.delete_weights
+                )
+            if batch.num_inserts:
+                src = np.concatenate([src, batch.inserts[:, 0]])
+                dst = np.concatenate([dst, batch.inserts[:, 1]])
+                wts = np.concatenate([wts, batch.insert_weights])
+            self._graph = _canonical_csr(num_vertices, src, dst, wts, self.key)
+            self._generation += 1
+            self._content_fp = _content_fingerprint(self._graph)
+            self.history.append(batch.digest())
+        return batch.touched_vertices()
+
+    def fingerprint_payload(self) -> Dict[str, object]:
+        """What :func:`repro.graph.datasets.fingerprint` hashes.
+
+        Content-addressed on purpose: the generation counter is *not*
+        part of the payload, so an apply+inverse round trip restores the
+        original fingerprint (and legitimately re-addresses any cached
+        results of the original content).  The generation's job is to
+        invalidate the fingerprint memo, not to name the content.
+        """
+        with self._lock:
+            return {
+                "dynamic": True,
+                "key": self.key,
+                "content": self._content_fp,
+                "num_vertices": self._graph.num_vertices,
+                "num_edges": self._graph.num_edges,
+                "dynamic_schema": DYNAMIC_SCHEMA_VERSION,
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DynamicGraph({self.key!r}, V={self.num_vertices}, "
+            f"E={self.num_edges}, gen={self.generation})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Deterministic churn traces
+# ----------------------------------------------------------------------
+def churn_batches(
+    graph: CSRGraph,
+    num_batches: int,
+    batch_edges: int,
+    insert_fraction: float = 0.5,
+    seed: int = 0,
+    max_weight: int = 255,
+) -> Iterator[EdgeBatch]:
+    """Deterministic sequence of valid churn batches for ``graph``.
+
+    Each batch inserts ``round(batch_edges * insert_fraction)`` random
+    edges (uniform endpoints, integer weights in ``[1, max_weight]``,
+    matching the paper's weight convention) and deletes the remainder
+    from edges that exist *at that point of the trace* — the generator
+    tracks the evolving edge multiset, so every yielded batch applies
+    cleanly in sequence.
+
+    Same ``(graph, parameters, seed)`` always yields identical batches.
+    """
+    if num_batches < 0 or batch_edges < 0:
+        raise DynamicGraphError("num_batches and batch_edges must be >= 0")
+    if not (0.0 <= insert_fraction <= 1.0):
+        raise DynamicGraphError("insert_fraction must be in [0, 1]")
+    rng = np.random.default_rng(seed)
+    num_vertices = graph.num_vertices
+    src = list(graph.edge_sources())
+    dst = list(graph.edges)
+    wts = list(np.asarray(graph.weights))
+    for _ in range(num_batches):
+        n_ins = int(round(batch_edges * insert_fraction))
+        n_del = min(batch_edges - n_ins, len(src))
+        deletes = np.zeros((n_del, 2), dtype=np.int64)
+        delete_weights = np.zeros(n_del, dtype=np.float32)
+        if n_del:
+            victims = rng.choice(len(src), size=n_del, replace=False)
+            for out, idx in enumerate(sorted(victims, reverse=True)):
+                deletes[out, 0] = src[idx]
+                deletes[out, 1] = dst[idx]
+                delete_weights[out] = wts[idx]
+                src[idx] = src[-1]
+                dst[idx] = dst[-1]
+                wts[idx] = wts[-1]
+                src.pop()
+                dst.pop()
+                wts.pop()
+        inserts = np.zeros((n_ins, 2), dtype=np.int64)
+        insert_weights = np.zeros(n_ins, dtype=np.float32)
+        if n_ins and num_vertices:
+            inserts[:, 0] = rng.integers(0, num_vertices, size=n_ins)
+            inserts[:, 1] = rng.integers(0, num_vertices, size=n_ins)
+            insert_weights[:] = rng.integers(
+                1, max_weight + 1, size=n_ins
+            ).astype(np.float32)
+            for k in range(n_ins):
+                src.append(np.int64(inserts[k, 0]))
+                dst.append(np.int64(inserts[k, 1]))
+                wts.append(np.float32(insert_weights[k]))
+        yield EdgeBatch(inserts, insert_weights, deletes, delete_weights)
+
+
+# ----------------------------------------------------------------------
+# Dynamic dataset registry
+# ----------------------------------------------------------------------
+_REGISTRY: Dict[str, DynamicGraph] = {}
+_registry_lock = threading.Lock()
+
+
+def register(dynamic: DynamicGraph, replace: bool = False) -> DynamicGraph:
+    """Register a dynamic graph as a loadable dataset.
+
+    The key becomes addressable through ``repro.graph.datasets`` —
+    ``load``/``fingerprint``/``resolve_key``/``get_spec`` — and hence
+    through every harness surface (run service, planner, daemon, CLI).
+
+    Raises:
+        ValueError: the key is already registered (static or dynamic)
+            and ``replace`` is false.
+    """
+    # Imported here: datasets imports this module at top level.
+    from . import datasets
+
+    key = dynamic.key
+    with _registry_lock:
+        if not replace:
+            if key in _REGISTRY:
+                raise ValueError(f"dynamic graph {key!r} already registered")
+            # Static-registry check only (full resolve_key would recurse
+            # into lazy ~C materialization, which calls back into here).
+            if datasets.is_static_key(key):
+                raise ValueError(
+                    f"{key!r} already names a static dataset or alias"
+                )
+        _REGISTRY[key] = dynamic
+    return dynamic
+
+
+def unregister(key: str) -> None:
+    """Remove a dynamic registration (mainly for tests)."""
+    with _registry_lock:
+        _REGISTRY.pop(key.upper(), None)
+
+
+def get(key: str) -> DynamicGraph:
+    """The registered :class:`DynamicGraph` for ``key``.
+
+    Raises:
+        KeyError: not a registered dynamic graph.
+    """
+    folded = key.upper()
+    with _registry_lock:
+        if folded not in _REGISTRY:
+            raise KeyError(f"unknown dynamic graph {key!r}")
+        return _REGISTRY[folded]
+
+
+def is_registered(key: str) -> bool:
+    with _registry_lock:
+        return key.upper() in _REGISTRY
+
+
+def registered_keys() -> List[str]:
+    """Registered dynamic keys, in registration order."""
+    with _registry_lock:
+        return list(_REGISTRY)
+
+
+def default_churn_params(base_edges: int, batches: int) -> Tuple[int, int]:
+    """(batch_edges, seed) the ``<BASE>~C<N>`` scheme derives from a key."""
+    return max(8, base_edges // 64), 1000 + batches
+
+
+def derive_churned(
+    base_key: str,
+    batches: int,
+    batch_edges: Optional[int] = None,
+    seed: Optional[int] = None,
+    insert_fraction: float = 0.5,
+    key: Optional[str] = None,
+    replace: bool = False,
+) -> DynamicGraph:
+    """Materialize and register ``<base>~C<batches>``.
+
+    The derivation is a pure function of ``(base dataset content,
+    batches, batch_edges, seed)``: any process — a planner rendering a
+    spec, a daemon validating a job, a test — that resolves the same key
+    builds the same content, which is what makes the key a sound cache
+    address.
+
+    Default parameters (when the key comes from the naming scheme):
+    ``batch_edges = max(8, E/64)`` and ``seed = 1000 + batches``, with a
+    50/50 insert/delete mix.
+    """
+    from . import datasets
+
+    base = datasets.load(base_key)
+    default_edges, default_seed = default_churn_params(
+        base.num_edges, batches
+    )
+    if batch_edges is None:
+        batch_edges = default_edges
+    if seed is None:
+        seed = default_seed
+    folded = (key or f"{datasets.resolve_key(base_key)}~C{batches}").upper()
+    dynamic = DynamicGraph(base, key=folded)
+    for batch in churn_batches(
+        dynamic.graph,
+        num_batches=batches,
+        batch_edges=batch_edges,
+        insert_fraction=insert_fraction,
+        seed=seed,
+    ):
+        dynamic.apply(batch)
+    dynamic.derived_from = (
+        datasets.resolve_key(base_key),
+        batches,
+        int(batch_edges),
+        int(seed),
+    )
+    return register(dynamic, replace=replace)
+
+
+def materialize_churn_key(folded_key: str) -> Optional[DynamicGraph]:
+    """Derive a ``<BASE>~C<N>`` key lazily, if the pattern matches.
+
+    Returns ``None`` when the key does not match the scheme or its base
+    is unknown; used by ``datasets.resolve_key`` as the last lookup
+    tier.
+    """
+    from . import datasets
+
+    match = CHURN_KEY_RE.match(folded_key)
+    if match is None:
+        return None
+    if not datasets.is_static_key(match.group("base")):
+        return None
+    try:
+        return derive_churned(
+            match.group("base"), int(match.group("batches")), key=folded_key
+        )
+    except ValueError:
+        # Lost a concurrent-materialization race: both derivations built
+        # identical content, so the winner's registration is ours too.
+        if is_registered(folded_key):
+            return get(folded_key)
+        raise
+
+
+def validate_graph_error_type() -> type:
+    """The error type shared with the static CSR layer (API affordance)."""
+    return GraphError

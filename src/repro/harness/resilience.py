@@ -55,6 +55,7 @@ from typing import (
     TypeVar,
 )
 
+from ..graph import datasets
 from ..obs import get_recorder
 from ..vcpm.algorithms import algorithm_names
 from ..vcpm.partitioned import scatter_shard_task
@@ -670,7 +671,14 @@ class ResilientRunService(RunService):
         """
         pending = []
         for algorithm, graph_key in pairs:
-            key = (algorithm.upper(), graph_key)
+            if datasets.is_dynamic(graph_key):
+                # Worker processes cannot see this process's dynamic
+                # registrations, so dynamic cells run in-parent (the
+                # serial path still applies retries and fault hooks).
+                self.cell(algorithm, graph_key)
+                self._mark(manifest, algorithm, graph_key)
+                continue
+            key = self._memo_key(algorithm, graph_key)
             with self._lock:
                 if key in self._cells:
                     self._mark(manifest, algorithm, graph_key)

@@ -523,6 +523,22 @@ class RunService:
             datasets.fingerprint(request.graph_key), __version__
         )
 
+    def _memo_key(self, algorithm: str, graph_key: str) -> Tuple[str, str]:
+        """In-process memo key for one cell.
+
+        Static datasets are immutable, so ``(algorithm, graph_key)``
+        suffices.  Dynamic graphs mutate under a generation counter, so
+        their memo key carries the content fingerprint: a post-mutation
+        lookup misses (no stale-generation hit), while an apply+inverse
+        round trip restores the fingerprint and legitimately re-hits.
+        """
+        if datasets.is_dynamic(graph_key):
+            return (
+                algorithm.upper(),
+                f"{graph_key}@{datasets.fingerprint(graph_key)}",
+            )
+        return (algorithm.upper(), graph_key)
+
     def _cache_path(self, request: RunRequest) -> str:
         assert self.cache_dir is not None
         return os.path.join(self.cache_dir, f"{self.cache_key(request)}.json")
@@ -542,8 +558,9 @@ class RunService:
         """
         request = self.request_for(algorithm, graph_key)
         key = self.cache_key(request)
+        memo_key = self._memo_key(request.algorithm, graph_key)
         with self._lock:
-            in_memo = (request.algorithm, graph_key) in self._cells
+            in_memo = memo_key in self._cells
         if in_memo:
             return request, key, "memo"
         if self.persistent:
@@ -662,7 +679,7 @@ class RunService:
     def cell(self, algorithm: str, graph_key: str) -> CellResult:
         """Run (or recall) one cell of the evaluation matrix."""
         rec = get_recorder()
-        key = (algorithm.upper(), graph_key)
+        key = self._memo_key(algorithm, graph_key)
         with self._lock:
             cached = self._cells.get(key)
             if cached is not None:
@@ -714,7 +731,13 @@ class RunService:
         reduction structure, same bytes).  The resilience layer wraps the
         returned runner to drop per-shard checkpoint breadcrumbs.
         """
-        if request.shards > 1 and self.executor == "process":
+        if (
+            request.shards > 1
+            and self.executor == "process"
+            and not datasets.is_dynamic(request.graph_key)
+        ):
+            # Dynamic graphs live only in this process's registry, so
+            # their shards stay in-process (same bytes either way).
             runner = _ProcessShardRunner(min(self.jobs, request.shards))
             return runner, (request.graph_key, request.storage), runner.close
         return None, None, None
@@ -794,7 +817,12 @@ class RunService:
         """
         pending: List[Tuple[Tuple[str, str], RunRequest, Optional[str]]] = []
         for algorithm, graph_key in pairs:
-            key = (algorithm.upper(), graph_key)
+            if datasets.is_dynamic(graph_key):
+                # A worker process cannot see this process's dynamic
+                # registrations; the cell runs in-parent on the serial
+                # pass that follows the fan-out.
+                continue
+            key = self._memo_key(algorithm, graph_key)
             with self._lock:
                 if key in self._cells:
                     continue

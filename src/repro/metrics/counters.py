@@ -7,7 +7,7 @@ from typing import Dict, List
 
 from ..memory.traffic import TrafficLedger
 
-__all__ = ["CacheStats", "PhaseBreakdown", "RunReport"]
+__all__ = ["CacheStats", "ChurnStats", "PhaseBreakdown", "RunReport"]
 
 
 @dataclasses.dataclass
@@ -46,6 +46,55 @@ class CacheStats:
     def recoveries(self) -> int:
         """Total corrective actions taken by the resilience layer."""
         return self.retries + self.timeouts + self.degradations
+
+
+@dataclasses.dataclass
+class ChurnStats:
+    """Counters for an evolving-graph (churn) session.
+
+    Tracks how often incremental recomputation actually took the
+    frontier-delta path versus falling back to the reference full rerun,
+    and how much work each path performed — the quantities
+    ``benchmarks/bench_dynamic.py`` and ``repro churn`` report.
+    """
+
+    batches_applied: int = 0  # EdgeBatch.apply calls
+    edges_inserted: int = 0
+    edges_deleted: int = 0
+    delta_runs: int = 0  # incremental steps that used frontier deltas
+    full_runs: int = 0  # incremental steps that fell back to full rerun
+    delta_iterations: int = 0  # engine iterations spent in delta runs
+    full_iterations: int = 0  # engine iterations spent in full reruns
+    delta_edges_processed: int = 0
+    full_edges_processed: int = 0
+
+    @property
+    def steps(self) -> int:
+        return self.delta_runs + self.full_runs
+
+    @property
+    def delta_fraction(self) -> float:
+        """Share of recomputation steps that avoided a full rerun."""
+        if self.steps == 0:
+            return 0.0
+        return self.delta_runs / self.steps
+
+    def record(self, outcome) -> None:
+        """Fold one :class:`repro.vcpm.incremental.IncrementalOutcome` in."""
+        if outcome.used_delta:
+            self.delta_runs += 1
+            self.delta_iterations += outcome.result.num_iterations
+            self.delta_edges_processed += outcome.result.total_edges_processed
+        else:
+            self.full_runs += 1
+            self.full_iterations += outcome.result.num_iterations
+            self.full_edges_processed += outcome.result.total_edges_processed
+
+    def record_batch(self, batch) -> None:
+        """Fold one applied :class:`repro.graph.dynamic.EdgeBatch` in."""
+        self.batches_applied += 1
+        self.edges_inserted += batch.num_inserts
+        self.edges_deleted += batch.num_deletes
 
 
 @dataclasses.dataclass

@@ -21,6 +21,11 @@ from .engine import (
     gather_edge_indices,
     run_vcpm,
 )
+from .incremental import (
+    IncrementalOutcome,
+    run_vcpm_incremental,
+    supports_delta,
+)
 from .optimized import (
     ActiveVertex,
     OptimizedRunResult,
@@ -66,6 +71,9 @@ __all__ = [
     "VCPMResult",
     "gather_edge_indices",
     "run_vcpm",
+    "IncrementalOutcome",
+    "run_vcpm_incremental",
+    "supports_delta",
     "ActiveVertex",
     "OptimizedRunResult",
     "VertexListWorkload",

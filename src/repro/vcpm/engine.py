@@ -165,6 +165,8 @@ def run_vcpm(
     max_iterations: Optional[int] = None,
     observers: Sequence[IterationObserver] = (),
     pr_tolerance: float = 1e-7,
+    initial_properties: Optional[np.ndarray] = None,
+    initial_active: Optional[np.ndarray] = None,
 ) -> VCPMResult:
     """Execute ``spec`` on ``graph`` per the push-based VCPM of Algorithm 1.
 
@@ -177,6 +179,14 @@ def run_vcpm(
         observers: timing models or statistics collectors fed each iteration.
         pr_tolerance: convergence threshold on the L1 property delta for
             accumulating (PR-style) algorithms.
+        initial_properties: continue from this property array instead of
+            the spec's cold-start state (incremental recomputation after
+            an edge-churn batch).  Must be given together with
+            ``initial_active``; only monotonic (min/max-reduce) specs can
+            continue — their fixpoints are state-independent, so a warm
+            start converges to the same values a cold start does.
+        initial_active: initial frontier for a continuation run
+            (typically the sources of freshly inserted edges).
 
     Returns:
         The final property array and per-iteration trace.
@@ -192,23 +202,50 @@ def run_vcpm(
     else:
         source = None
 
-    prop = spec.initial_prop(num_vertices, source)
+    continuing = initial_properties is not None or initial_active is not None
+    if continuing:
+        if initial_properties is None or initial_active is None:
+            raise ValueError(
+                "initial_properties and initial_active must be given together"
+            )
+        if spec.resets_tprop_each_iteration:
+            raise ValueError(
+                f"{spec.name} accumulates into tProp each iteration; its "
+                "fixpoint depends on the starting state, so continuation "
+                "runs are not meaningful — rerun from scratch instead"
+            )
+
+    if continuing:
+        prop = np.array(initial_properties, dtype=np.float64, copy=True)
+        if prop.shape != (num_vertices,):
+            raise ValueError(
+                f"initial_properties has shape {prop.shape}, "
+                f"expected ({num_vertices},)"
+            )
+        active = np.unique(np.asarray(initial_active, dtype=np.int64))
+        if active.size and (
+            active[0] < 0 or active[-1] >= num_vertices
+        ):
+            raise ValueError("initial_active vertex out of range")
+    else:
+        prop = spec.initial_prop(num_vertices, source)
     t_prop = spec.initial_tprop(num_vertices)
     if spec.uses_degree_cprop:
         c_prop = graph.out_degree().astype(np.float64)
     else:
         c_prop = np.zeros(num_vertices, dtype=np.float64)
 
-    if spec.all_vertices_active_initially:
-        active = np.arange(num_vertices, dtype=np.int64)
-    elif source is not None and num_vertices:
-        active = np.asarray([source], dtype=np.int64)
-    else:
-        active = np.zeros(0, dtype=np.int64)
+    if not continuing:
+        if spec.all_vertices_active_initially:
+            active = np.arange(num_vertices, dtype=np.int64)
+        elif source is not None and num_vertices:
+            active = np.asarray([source], dtype=np.int64)
+        else:
+            active = np.zeros(0, dtype=np.int64)
 
-    # PR stores rank/deg; normalize the initial uniform ranks once.
-    if spec.uses_degree_cprop and num_vertices:
-        prop = prop / np.maximum(c_prop, 1.0)
+        # PR stores rank/deg; normalize the initial uniform ranks once.
+        if spec.uses_degree_cprop and num_vertices:
+            prop = prop / np.maximum(c_prop, 1.0)
 
     traces: List[IterationTrace] = []
     converged = False

@@ -1,0 +1,171 @@
+"""Incremental recomputation after edge churn: frontier deltas, not reruns.
+
+After a :class:`repro.graph.dynamic.EdgeBatch` mutates a graph, the
+standard formulation (Gunrock's frontier-delta model, arXiv:1701.01170)
+observes that a *monotone* algorithm — any min/max-reduce VCPM spec —
+need not restart: its fixpoint is the unique limit of the reduce over
+all path expressions, independent of the starting property state as
+long as the start is pointwise no better than the new fixpoint.  An
+insert-only batch can only *improve* reachable values, so the previous
+fixpoint is a valid warm start, and the only vertices that can initiate
+improvements are the sources of the inserted edges.
+
+:func:`run_vcpm_incremental` therefore seeds the frontier with exactly
+those sources and continues from the previous property array.  Every
+candidate value is the same float expression chain (``prop[u] ⊕ w``)
+the full rerun computes, and min/max of identical bit patterns is bit
+stable — so the delta path is **bit-identical** to a cold rerun on the
+mutated graph.  That claim is not an optimization footnote; it is the
+contract: the full-rerun path is retained and the conformance battery
+asserts equality on every (backend × algorithm × batch) cell.
+
+Anything outside the safe envelope — deletions (values may need to get
+*worse*, which monotone continuation cannot express), accumulating
+specs (PR's fixpoint depends on the start state), an unconverged or
+mismatched previous result — falls back to the reference full rerun,
+and says so in the outcome's ``reason``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+from ..graph.dynamic import EdgeBatch
+from .engine import IterationObserver, VCPMResult, run_vcpm
+from .spec import AlgorithmSpec
+
+__all__ = [
+    "IncrementalOutcome",
+    "supports_delta",
+    "run_vcpm_incremental",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class IncrementalOutcome:
+    """What an incremental step actually did, and why.
+
+    Attributes:
+        result: the (bit-exact) result on the mutated graph.
+        mode: ``"delta"`` (frontier continuation) or ``"full"`` (reference
+            rerun).
+        reason: why this mode was chosen — ``"insert-only-monotone"`` for
+            the delta path, otherwise the disqualifier.
+        seed_count: frontier size the delta path started from (0 for
+            full reruns).
+    """
+
+    result: VCPMResult
+    mode: str
+    reason: str
+    seed_count: int
+
+    @property
+    def used_delta(self) -> bool:
+        return self.mode == "delta"
+
+
+def supports_delta(spec: AlgorithmSpec, batch: EdgeBatch) -> Optional[str]:
+    """Why ``(spec, batch)`` cannot take the delta path, or ``None`` if it can.
+
+    Returning the disqualifier (instead of a bare bool) keeps the
+    decision auditable in outcomes and benchmark output.
+    """
+    if not spec.reduce_op.is_monotonic:
+        return f"{spec.name} reduce is accumulating (fixpoint is start-dependent)"
+    if not batch.insert_only:
+        return f"batch deletes {batch.num_deletes} edge(s) (values may regress)"
+    return None
+
+
+def run_vcpm_incremental(
+    graph: CSRGraph,
+    spec: AlgorithmSpec,
+    batch: EdgeBatch,
+    previous: Optional[VCPMResult],
+    source: Optional[int] = 0,
+    max_iterations: Optional[int] = None,
+    observers: Sequence[IterationObserver] = (),
+    pr_tolerance: float = 1e-7,
+) -> IncrementalOutcome:
+    """Recompute ``spec`` on the *already-mutated* ``graph``.
+
+    Args:
+        graph: the post-batch CSR snapshot (``DynamicGraph.graph`` after
+            ``apply(batch)``).
+        spec: algorithm definition.
+        batch: the batch that produced ``graph`` from the previous
+            snapshot.
+        previous: the converged result on the pre-batch snapshot, or
+            ``None`` (forces a full rerun).
+        source: root vertex, as for :func:`repro.vcpm.run_vcpm`.
+        max_iterations: iteration cap for either path.
+        observers: timing models fed whichever path runs — the delta
+            path's iterations are real Scatter/Apply work, so cycle
+            models price incremental steps natively.
+        pr_tolerance: PR convergence threshold (full-rerun path only).
+
+    Returns:
+        An :class:`IncrementalOutcome`; ``.result.properties`` is
+        bit-identical to a cold :func:`run_vcpm` on ``graph`` in both
+        modes.
+    """
+
+    def full(reason: str) -> IncrementalOutcome:
+        result = run_vcpm(
+            graph,
+            spec,
+            source=source,
+            max_iterations=max_iterations,
+            observers=observers,
+            pr_tolerance=pr_tolerance,
+        )
+        return IncrementalOutcome(
+            result=result, mode="full", reason=reason, seed_count=0
+        )
+
+    blocker = supports_delta(spec, batch)
+    if blocker is not None:
+        return full(blocker)
+    if previous is None:
+        return full("no previous result")
+    if not previous.converged:
+        return full("previous result had not converged")
+    if previous.algorithm != spec.name:
+        return full(
+            f"previous result is for {previous.algorithm}, not {spec.name}"
+        )
+    if previous.properties.shape != (graph.num_vertices,):
+        return full("vertex count changed")
+    if spec.needs_source and previous.source != source:
+        return full(
+            f"previous result used source {previous.source}, not {source}"
+        )
+
+    seeds = batch.seed_vertices()
+    if seeds.size and seeds[-1] >= graph.num_vertices:
+        return full("inserted edge endpoint outside previous vertex range")
+    result = run_vcpm(
+        graph,
+        spec,
+        source=source,
+        max_iterations=max_iterations,
+        observers=observers,
+        pr_tolerance=pr_tolerance,
+        initial_properties=previous.properties,
+        initial_active=seeds,
+    )
+    if not result.converged:
+        # The continuation hit the iteration cap; the reference path is
+        # the only state we can trust bit-for-bit.
+        return full("delta continuation hit the iteration cap")
+    return IncrementalOutcome(
+        result=result,
+        mode="delta",
+        reason="insert-only-monotone",
+        seed_count=int(seeds.size),
+    )

@@ -1,0 +1,248 @@
+"""Cross-backend conformance battery.
+
+Every backend in the registry — the paper's three systems plus the
+DCA-style decentralized-datapath model — must satisfy the same
+:class:`repro.backends.Backend` contract: protocol shape, stable config
+digests, complete report schema, deterministic reruns, persistent-cache
+round-trips, observability counters, and a sane energy integration.
+The suite is parametrized over ``backends.available()`` so a fifth
+system registered tomorrow is pinned by the same battery with zero test
+changes.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import backends
+from repro.backends import Backend
+from repro.graph import datasets
+from repro.harness import RunService
+from repro.metrics.serialize import (
+    SCHEMA_VERSION,
+    report_from_dict,
+    report_to_dict,
+)
+from repro.obs import TraceRecorder, use_recorder
+from repro.vcpm import algorithm_names, get_algorithm
+
+ALL_BACKENDS = backends.available()
+
+#: Keys report_to_dict must emit for every backend (cache envelope shape).
+REQUIRED_REPORT_KEYS = {
+    "schema",
+    "system",
+    "algorithm",
+    "graph_name",
+    "cycles",
+    "frequency_hz",
+    "edges_processed",
+    "vertices_processed",
+    "iterations",
+    "peak_bytes_per_cycle",
+    "scheduling_ops",
+    "update_operations",
+    "stall_cycles",
+    "storage_bytes",
+    "extra",
+    "traffic",
+    "phases",
+    "derived",
+}
+
+
+def _run(name, algorithm="BFS", graph_key="FR"):
+    backend = backends.create(name)
+    graph = datasets.load(graph_key)
+    result, report = backend.run(graph, get_algorithm(algorithm))
+    return backend, result, report
+
+
+class TestRegistryContract:
+    def test_all_four_systems_registered(self):
+        assert ALL_BACKENDS == [
+            "GraphDynS",
+            "Graphicionado",
+            "Gunrock",
+            "DCA",
+        ]
+
+    def test_keys_align_with_display_names(self):
+        assert backends.available_keys() == [n.lower() for n in ALL_BACKENDS]
+
+    @pytest.mark.parametrize("name", ALL_BACKENDS)
+    def test_satisfies_backend_protocol(self, name):
+        backend = backends.create(name)
+        assert isinstance(backend, Backend)
+        assert backend.name == name
+
+    @pytest.mark.parametrize("name", ALL_BACKENDS)
+    def test_config_digest_is_stable_hex(self, name):
+        first = backends.create(name).config_digest()
+        second = backends.create(name).config_digest()
+        assert first == second
+        assert len(first) == 16
+        int(first, 16)  # hex or bust
+
+    def test_config_digests_distinguish_backends(self):
+        digests = [backends.create(n).config_digest() for n in ALL_BACKENDS]
+        assert len(set(digests)) == len(digests)
+
+
+class TestReportSchema:
+    @pytest.mark.parametrize("name", ALL_BACKENDS)
+    def test_report_has_complete_schema(self, name):
+        _, _, report = _run(name)
+        data = report_to_dict(report)
+        assert REQUIRED_REPORT_KEYS <= set(data)
+        assert data["schema"] == SCHEMA_VERSION
+        assert data["system"] == name
+
+    @pytest.mark.parametrize("name", ALL_BACKENDS)
+    def test_report_values_are_physical(self, name):
+        _, result, report = _run(name)
+        assert report.cycles > 0
+        assert report.frequency_hz > 0
+        assert report.peak_bytes_per_cycle > 0
+        assert report.edges_processed == result.total_edges_processed
+        assert report.iterations == result.num_iterations
+        assert report.traffic.total > 0
+        assert len(report.phases) == report.iterations
+        assert report.seconds > 0
+        assert report.gteps > 0
+        assert 0.0 <= report.bandwidth_utilization <= 1.0
+
+    @pytest.mark.parametrize("name", ALL_BACKENDS)
+    def test_report_round_trips_through_json(self, name):
+        _, _, report = _run(name)
+        once = report_to_dict(report)
+        twice = report_to_dict(report_from_dict(json.loads(json.dumps(once))))
+        assert json.dumps(once, sort_keys=True) == json.dumps(
+            twice, sort_keys=True
+        )
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("name", ALL_BACKENDS)
+    def test_fresh_reruns_are_bit_identical(self, name):
+        _, first_result, first = _run(name, algorithm="SSSP")
+        _, second_result, second = _run(name, algorithm="SSSP")
+        assert json.dumps(
+            report_to_dict(first), sort_keys=True
+        ) == json.dumps(report_to_dict(second), sort_keys=True)
+        assert (
+            first_result.properties.tobytes()
+            == second_result.properties.tobytes()
+        )
+
+    @pytest.mark.parametrize("name", ALL_BACKENDS)
+    def test_all_algorithms_supported(self, name):
+        for algorithm in algorithm_names():
+            _, _, report = _run(name, algorithm=algorithm)
+            assert report.cycles > 0, (name, algorithm)
+
+
+class TestCacheRoundTrip:
+    @pytest.mark.parametrize("name", ALL_BACKENDS)
+    def test_single_backend_cache_round_trip(self, name, tmp_path):
+        cache = str(tmp_path / "cache")
+        backend = backends.create(name)
+        warm = RunService([backend], cache_dir=cache)
+        cell = warm.cell("BFS", "FR")
+        assert warm.stats.misses == 1 and warm.stats.stores == 1
+
+        replay = RunService([backends.create(name)], cache_dir=cache)
+        _, _, status = replay.probe("BFS", "FR")
+        assert status == "persistent"
+        replayed = replay.cell("BFS", "FR")
+        assert (replay.stats.hits, replay.stats.misses) == (1, 0)
+        assert json.dumps(
+            report_to_dict(cell.reports[name]), sort_keys=True
+        ) == json.dumps(report_to_dict(replayed.reports[name]), sort_keys=True)
+        assert replayed.energy[name].total_j == pytest.approx(
+            cell.energy[name].total_j
+        )
+
+    @pytest.mark.parametrize("name", ALL_BACKENDS)
+    def test_cache_key_tracks_config_digest(self, name, tmp_path):
+        cache = str(tmp_path / "cache")
+        backend = backends.create(name)
+        RunService([backend], cache_dir=cache).cell("BFS", "FR")
+
+        class Tweaked(type(backend)):
+            def config_digest(self):
+                return "f" * 16
+
+        rerun = RunService([Tweaked()], cache_dir=cache)
+        rerun.cell("BFS", "FR")
+        assert rerun.stats.misses == 1 and rerun.stats.hits == 0
+
+
+class TestObservability:
+    @pytest.mark.parametrize("name", ALL_BACKENDS)
+    def test_hbm_counters_reconcile_with_traffic(self, name):
+        backend = backends.create(name)
+        graph = datasets.load("FR")
+        recorder = TraceRecorder()
+        with use_recorder(recorder):
+            _, report = backend.run(graph, get_algorithm("BFS"))
+        recorder.finish()
+        snap = recorder.instruments.snapshot()
+        assert snap[f"hbm.{name}.bytes"]["value"] == report.traffic.total
+        assert snap[f"hbm.{name}.requests"]["value"] > 0
+
+    @pytest.mark.parametrize("name", ALL_BACKENDS)
+    def test_spans_cover_the_run(self, name):
+        backend = backends.create(name)
+        graph = datasets.load("FR")
+        recorder = TraceRecorder()
+        with use_recorder(recorder):
+            backend.run(graph, get_algorithm("BFS"))
+        recorder.finish()
+        tracks = recorder.tracks()
+        assert any(track.startswith(name) for track in tracks), tracks
+
+
+class TestEnergy:
+    @pytest.mark.parametrize("name", ALL_BACKENDS)
+    def test_energy_report_is_sane(self, name):
+        backend, _, report = _run(name)
+        energy = backend.energy(report)
+        assert energy.system == name
+        assert energy.total_j > 0
+        assert 0.0 < energy.hbm_fraction < 1.0
+        breakdown = energy.breakdown()
+        assert breakdown
+        assert sum(breakdown.values()) == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("name", ALL_BACKENDS)
+    def test_energy_scales_with_work(self, name):
+        backend = backends.create(name)
+        graph = datasets.load("FR")
+        spec = get_algorithm("SSSP")
+        _, truncated = backend.run(graph, spec, max_iterations=1)
+        _, full = backend.run(graph, spec)
+        assert full.iterations > truncated.iterations
+        assert (
+            backend.energy(full).total_j > backend.energy(truncated).total_j
+        )
+
+
+class TestDynamicGraphSurface:
+    """Every backend must run on a mutating DynamicGraph snapshot."""
+
+    @pytest.mark.parametrize("name", ALL_BACKENDS)
+    def test_runs_on_churned_snapshot(self, name):
+        from repro.graph import DynamicGraph, churn_batches
+
+        base = datasets.load("FR")
+        dynamic = DynamicGraph(base, key=f"CONF-{name.upper()}")
+        for batch in churn_batches(
+            base, num_batches=2, batch_edges=16, seed=3
+        ):
+            dynamic.apply(batch)
+        backend = backends.create(name)
+        result, report = backend.run(dynamic.graph, get_algorithm("BFS"))
+        assert report.cycles > 0
+        assert np.isfinite(result.properties).any()

@@ -1,0 +1,223 @@
+"""Mutation-driven cache invalidation, end to end.
+
+A dynamic graph's content fingerprint is folded into every cache
+address the platform uses — the run service's in-process memo and
+persistent envelope keys, the daemon's coalescing job keys, and the
+planner's probe classifications.  These tests warm each tier, mutate
+the graph, and assert the stale entry can no longer be reached (while
+an apply+inverse round trip legitimately *re*-addresses the original
+result: content addressing, not version counting).
+"""
+
+import threading
+
+import pytest
+
+from repro.graph import DynamicGraph, EdgeBatch, datasets
+from repro.graph import dynamic as dyn
+from repro.harness import planner
+from repro.harness.serve import DaemonConfig, SimulationDaemon
+from repro.harness.service import CacheStats, RunService
+from repro.harness.specs import parse_spec
+
+BATCH = EdgeBatch.of(inserts=[(0, 1), (2, 3), (4, 5)])
+
+
+@pytest.fixture()
+def mutable_key():
+    """A registered dynamic FR clone, unregistered on teardown."""
+    key = "MUTCACHE"
+    dynamic = DynamicGraph(datasets.load("FR"), key=key)
+    dyn.register(dynamic, replace=True)
+    yield key, dynamic
+    dyn.unregister(key)
+
+
+class TestServiceMemo:
+    def test_mutation_invalidates_in_process_memo(self, mutable_key):
+        key, dynamic = mutable_key
+        service = RunService(use_cache=False)
+        first = service.cell("BFS", key)
+        assert service.cell("BFS", key) is first
+        assert (service.stats.misses, service.stats.memory_hits) == (1, 1)
+
+        dynamic.apply(BATCH)
+        mutated = service.cell("BFS", key)
+        assert mutated is not first
+        assert service.stats.misses == 2
+        # The new generation memoizes under its own fingerprint.
+        assert service.cell("BFS", key) is mutated
+        assert service.stats.memory_hits == 2
+
+    def test_inverse_restores_the_original_memo_entry(self, mutable_key):
+        key, dynamic = mutable_key
+        service = RunService(use_cache=False)
+        first = service.cell("BFS", key)
+        dynamic.apply(BATCH)
+        service.cell("BFS", key)
+        dynamic.apply(BATCH.inverse())
+        # Same content again -> the original memo entry is reachable.
+        assert service.cell("BFS", key) is first
+        assert service.stats.misses == 2
+
+
+class TestPersistentCache:
+    def test_mutation_is_a_miss_then_repopulates(self, mutable_key, tmp_path):
+        key, dynamic = mutable_key
+        cache = str(tmp_path / "cache")
+        warm = RunService(cache_dir=cache)
+        warm.cell("BFS", key)
+        assert (warm.stats.misses, warm.stats.stores) == (1, 1)
+
+        replay = RunService(cache_dir=cache)
+        replay.cell("BFS", key)
+        assert (replay.stats.hits, replay.stats.misses) == (1, 0)
+
+        dynamic.apply(BATCH)
+        mutated = RunService(cache_dir=cache)
+        _, _, status = mutated.probe("BFS", key)
+        assert status == "miss"  # no stale-generation hit
+        mutated.cell("BFS", key)
+        assert (mutated.stats.hits, mutated.stats.misses) == (0, 1)
+        assert mutated.stats.stores == 1  # repopulated under the new key
+
+        # The new content now hits persistently too.
+        again = RunService(cache_dir=cache)
+        again.cell("BFS", key)
+        assert (again.stats.hits, again.stats.misses) == (1, 0)
+
+    def test_inverse_re_addresses_the_original_entry(
+        self, mutable_key, tmp_path
+    ):
+        key, dynamic = mutable_key
+        cache = str(tmp_path / "cache")
+        RunService(cache_dir=cache).cell("BFS", key)
+        dynamic.apply(BATCH)
+        dynamic.apply(BATCH.inverse())
+        assert dynamic.generation == 2
+        replay = RunService(cache_dir=cache)
+        _, _, status = replay.probe("BFS", key)
+        assert status == "persistent"
+        replay.cell("BFS", key)
+        assert (replay.stats.hits, replay.stats.misses) == (1, 0)
+
+    def test_cache_key_tracks_fingerprint(self, mutable_key, tmp_path):
+        key, dynamic = mutable_key
+        service = RunService(cache_dir=str(tmp_path / "cache"))
+        before = service.cache_key(service.request_for("BFS", key))
+        dynamic.apply(BATCH)
+        after = service.cache_key(service.request_for("BFS", key))
+        assert before != after
+        dynamic.apply(BATCH.inverse())
+        restored = service.cache_key(service.request_for("BFS", key))
+        assert restored == before
+
+
+class _BlockingService:
+    """Delegates identity to a real service; blocks execution forever.
+
+    The daemon computes job keys through ``request_for``/``cache_key``
+    (the real, fingerprint-bearing addresses) while ``matrix`` parks, so
+    submissions pile up deterministically in the in-flight map.
+    """
+
+    def __init__(self, inner: RunService):
+        self.inner = inner
+        self.release = threading.Event()
+        self.stats = CacheStats()
+
+    def request_for(self, algorithm, graph_key):
+        return self.inner.request_for(algorithm, graph_key)
+
+    def cache_key(self, request):
+        return self.inner.cache_key(request)
+
+    def matrix(self, algorithms, graph_keys, jobs=None, executor=None):
+        if not self.release.wait(timeout=30):
+            raise TimeoutError("blocking service never released")
+        return []
+
+
+class TestDaemonCoalescing:
+    def test_mutation_defeats_job_coalescing(self, mutable_key, tmp_path):
+        key, dynamic = mutable_key
+        service = _BlockingService(RunService(use_cache=False))
+        config = DaemonConfig(
+            port=0,
+            journal_path=str(tmp_path / "jobs.jsonl"),
+            cache_dir=str(tmp_path / "cache"),
+            drain_timeout=1.0,
+            poll_interval=0.01,
+        )
+        daemon = SimulationDaemon(config, service=service)
+        daemon.start()
+        try:
+            spec = {"algorithms": ["BFS"], "graphs": [key]}
+            primary, decision = daemon.submit(spec)
+            assert decision.accepted and primary.state != "coalesced"
+
+            # Identical content in flight: the duplicate attaches.
+            twin, decision = daemon.submit(spec)
+            assert decision.reason == "coalesced"
+            assert twin.coalesced_with == primary.id
+            assert daemon.stats.coalesced == 1
+
+            # Mutate: same spec text is now *different work*.
+            dynamic.apply(BATCH)
+            fresh, decision = daemon.submit(spec)
+            assert decision.accepted
+            assert fresh.state != "coalesced"
+            assert fresh.coalesced_with is None
+            assert fresh.job_key != primary.job_key
+            assert daemon.stats.coalesced == 1  # unchanged
+        finally:
+            service.release.set()
+            daemon.stop(drain=False)
+
+
+class TestPlannerClassification:
+    SPEC = "name: churnplan\nalgorithms: [BFS]\ngraphs: [{key}]\n"
+
+    def _services(self, spec, tmp_path):
+        return planner.services_for_spec(
+            spec, cache_dir=str(tmp_path / "cache")
+        )
+
+    def test_mutated_cells_classify_pending_not_cached(
+        self, mutable_key, tmp_path
+    ):
+        key, dynamic = mutable_key
+        spec = parse_spec(self.SPEC.format(key=key))
+        services = self._services(spec, tmp_path)
+        planner.execute_plan(planner.build_plan(spec, services), services)
+
+        warm_plan = planner.build_plan(
+            spec, self._services(spec, tmp_path)
+        )
+        assert [c.status for c in warm_plan.cells] == ["cached-persistent"]
+        assert warm_plan.schedule == []
+
+        dynamic.apply(BATCH)
+        stale_plan = planner.build_plan(
+            spec, self._services(spec, tmp_path)
+        )
+        assert [c.status for c in stale_plan.cells] == ["pending"]
+        assert len(stale_plan.schedule) == 1
+
+    def test_plan_cli_reports_mutation(self, mutable_key, tmp_path, capsys):
+        from repro.cli import main
+
+        key, dynamic = mutable_key
+        spec_path = tmp_path / "s.yaml"
+        spec_path.write_text(self.SPEC.format(key=key))
+        cache = tmp_path / "cache"
+        cache.mkdir()
+
+        assert main(["run-spec", str(spec_path), "--cache-dir", str(cache)]) == 0
+        capsys.readouterr()
+        assert main(["plan", str(spec_path), "--cache-dir", str(cache)]) == 0
+        assert "0 pending" in capsys.readouterr().out
+
+        dynamic.apply(BATCH)
+        assert main(["plan", str(spec_path), "--cache-dir", str(cache)]) == 0
+        assert "1 pending" in capsys.readouterr().out

@@ -183,6 +183,42 @@ class TestCommands:
         assert "Process_Edge" in out
 
 
+class TestChurnCommand:
+    def test_churn_defaults_parse(self):
+        args = build_parser().parse_args(["churn"])
+        assert args.graph == "FR"
+        assert args.algo == "BFS"
+        assert args.batches == 8
+        assert args.insert_fraction == 0.5
+
+    def test_insert_only_session_stays_on_delta_path(self, capsys):
+        rc = main(
+            ["churn", "--graph", "FR", "--algo", "SSSP", "--batches", "3",
+             "--batch-edges", "16", "--insert-fraction", "1.0"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "delta path on 3/3 steps" in out
+        assert "False" not in out  # every row bit-identical
+        assert "ERROR" not in out
+
+    def test_mixed_session_reports_fallbacks(self, capsys):
+        rc = main(
+            ["churn", "--graph", "FR", "--algo", "BFS", "--batches", "2",
+             "--batch-edges", "8", "--insert-fraction", "0.5"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "full" in out
+        assert "ERROR" not in out
+
+    def test_churn_key_cleaned_up_after_session(self):
+        from repro.graph import dynamic
+
+        assert main(["churn", "--batches", "1", "--batch-edges", "4"]) == 0
+        assert not dynamic.is_registered("FR-CHURN")
+
+
 class TestMatrixCommand:
     _BASE = ["matrix", "--algorithms", "BFS", "CC", "--graphs", "FR",
              "--backoff", "0"]

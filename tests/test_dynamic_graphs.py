@@ -1,0 +1,367 @@
+"""Property-based suite for evolving graphs and incremental recomputation.
+
+The three contracts under test, each stated as a hypothesis property
+over randomized graphs and churn traces:
+
+* **Bit-identity** — ``run_vcpm_incremental`` on a mutated snapshot
+  returns the *same bytes* as a cold ``run_vcpm`` on that snapshot, for
+  every algorithm and every batch (delta path and fallback path alike).
+* **Monotone generations** — every ``apply`` advances the generation by
+  exactly one, with no rollback on apply+inverse round trips.
+* **Content addressing** — applying a batch and then its inverse
+  restores the original CSR arrays byte-for-byte, hence the original
+  content fingerprint; edge-list input order never affects either.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import CSRGraph, datasets
+from repro.graph.dynamic import (
+    DynamicGraph,
+    DynamicGraphError,
+    EdgeBatch,
+    churn_batches,
+    derive_churned,
+)
+from repro.graph import dynamic as dyn
+from repro.vcpm import get_algorithm, run_vcpm
+from repro.vcpm.incremental import (
+    run_vcpm_incremental,
+    supports_delta,
+)
+
+MONOTONE_ALGORITHMS = ["BFS", "SSSP", "CC", "SSWP"]
+
+
+@st.composite
+def small_graphs(draw):
+    """Random small weighted digraphs (duplicates and self-loops allowed)."""
+    num_vertices = draw(st.integers(min_value=3, max_value=12))
+    vertex = st.integers(min_value=0, max_value=num_vertices - 1)
+    edges = draw(
+        st.lists(st.tuples(vertex, vertex), min_size=1, max_size=40)
+    )
+    weights = draw(
+        st.lists(
+            st.integers(min_value=1, max_value=9),
+            min_size=len(edges),
+            max_size=len(edges),
+        )
+    )
+    return CSRGraph.from_edge_list(
+        num_vertices, edges, [float(w) for w in weights], name="hyp"
+    )
+
+
+@st.composite
+def insert_batches(draw, num_vertices):
+    """Random insert-only batches over a fixed vertex set."""
+    vertex = st.integers(min_value=0, max_value=num_vertices - 1)
+    pairs = draw(
+        st.lists(st.tuples(vertex, vertex), min_size=1, max_size=12)
+    )
+    weights = draw(
+        st.lists(
+            st.integers(min_value=1, max_value=9),
+            min_size=len(pairs),
+            max_size=len(pairs),
+        )
+    )
+    return EdgeBatch.of(
+        inserts=pairs,
+        insert_weights=np.asarray(weights, dtype=np.float32),
+    )
+
+
+class TestBitIdentity:
+    @settings(max_examples=20, deadline=None)
+    @given(data=st.data())
+    def test_insert_only_delta_matches_cold_rerun(self, data):
+        graph = data.draw(small_graphs())
+        batch = data.draw(insert_batches(graph.num_vertices))
+        algorithm = data.draw(st.sampled_from(MONOTONE_ALGORITHMS))
+        spec = get_algorithm(algorithm)
+
+        dynamic = DynamicGraph(graph, key="HYP-DELTA")
+        previous = run_vcpm(dynamic.graph, spec, source=0)
+        dynamic.apply(batch)
+
+        outcome = run_vcpm_incremental(
+            dynamic.graph, spec, batch, previous, source=0
+        )
+        reference = run_vcpm(dynamic.graph, spec, source=0)
+        assert (
+            outcome.result.properties.tobytes()
+            == reference.properties.tobytes()
+        )
+        if previous.converged:
+            assert outcome.used_delta
+            assert outcome.reason == "insert-only-monotone"
+            assert outcome.seed_count == len(np.unique(batch.inserts[:, 0]))
+
+    @settings(max_examples=15, deadline=None)
+    @given(data=st.data())
+    def test_mixed_batches_fall_back_bit_identically(self, data):
+        graph = data.draw(small_graphs())
+        seed = data.draw(st.integers(min_value=0, max_value=999))
+        algorithm = data.draw(st.sampled_from(MONOTONE_ALGORITHMS + ["PR"]))
+        spec = get_algorithm(algorithm)
+
+        dynamic = DynamicGraph(graph, key="HYP-MIXED")
+        previous = run_vcpm(dynamic.graph, spec, source=0)
+        # insert_fraction < 1 forces deletions -> the fallback path.
+        (batch,) = churn_batches(
+            dynamic.graph,
+            num_batches=1,
+            batch_edges=6,
+            insert_fraction=0.5,
+            seed=seed,
+        )
+        dynamic.apply(batch)
+
+        outcome = run_vcpm_incremental(
+            dynamic.graph, spec, batch, previous, source=0
+        )
+        reference = run_vcpm(dynamic.graph, spec, source=0)
+        assert not outcome.used_delta
+        assert (
+            outcome.result.properties.tobytes()
+            == reference.properties.tobytes()
+        )
+
+    def test_blockers_are_named(self):
+        insert = EdgeBatch.of(inserts=[(0, 1)])
+        mixed = EdgeBatch.of(deletes=[(0, 1)])
+        assert supports_delta(get_algorithm("BFS"), insert) is None
+        assert "deletes" in supports_delta(get_algorithm("BFS"), mixed)
+        assert "accumulating" in supports_delta(get_algorithm("PR"), insert)
+
+    def test_stale_previous_forces_full_rerun(self):
+        graph = datasets.load("FR")
+        spec = get_algorithm("BFS")
+        dynamic = DynamicGraph(graph, key="HYP-STALE")
+        batch = EdgeBatch.of(inserts=[(0, 1)])
+        previous = run_vcpm(dynamic.graph, get_algorithm("SSSP"), source=0)
+        dynamic.apply(batch)
+        outcome = run_vcpm_incremental(
+            dynamic.graph, spec, batch, previous, source=0
+        )
+        assert outcome.mode == "full"
+        assert "SSSP" in outcome.reason
+
+
+class TestGenerations:
+    @settings(max_examples=15, deadline=None)
+    @given(data=st.data())
+    def test_every_apply_advances_generation_by_one(self, data):
+        graph = data.draw(small_graphs())
+        num_batches = data.draw(st.integers(min_value=0, max_value=5))
+        dynamic = DynamicGraph(graph, key="HYP-GEN")
+        assert dynamic.generation == 0
+        generations = [dynamic.generation]
+        for batch in churn_batches(
+            dynamic.graph, num_batches=num_batches, batch_edges=4, seed=7
+        ):
+            dynamic.apply(batch)
+            generations.append(dynamic.generation)
+        assert generations == list(range(num_batches + 1))
+
+    def test_empty_batch_still_advances(self):
+        dynamic = DynamicGraph(datasets.load("FR"), key="HYP-EMPTY")
+        fp = dynamic.content_fingerprint
+        dynamic.apply(EdgeBatch.of())
+        assert dynamic.generation == 1
+        # Content unchanged: same fingerprint, new generation.
+        assert dynamic.content_fingerprint == fp
+
+    def test_inverse_never_rolls_generation_back(self):
+        dynamic = DynamicGraph(datasets.load("FR"), key="HYP-ROLL")
+        batch = EdgeBatch.of(inserts=[(1, 2), (3, 4)])
+        dynamic.apply(batch)
+        dynamic.apply(batch.inverse())
+        assert dynamic.generation == 2
+
+
+class TestContentAddressing:
+    @settings(max_examples=20, deadline=None)
+    @given(data=st.data())
+    def test_apply_inverse_restores_arrays_and_fingerprint(self, data):
+        graph = data.draw(small_graphs())
+        seed = data.draw(st.integers(min_value=0, max_value=999))
+        dynamic = DynamicGraph(graph, key="HYP-INV")
+        before = dynamic.graph
+        fp = dynamic.content_fingerprint
+
+        (batch,) = churn_batches(
+            dynamic.graph, num_batches=1, batch_edges=6, seed=seed
+        )
+        dynamic.apply(batch)
+        dynamic.apply(batch.inverse())
+
+        after = dynamic.graph
+        assert after.offsets.tobytes() == before.offsets.tobytes()
+        assert np.asarray(after.edges).tobytes() == np.asarray(
+            before.edges
+        ).tobytes()
+        assert np.asarray(after.weights).tobytes() == np.asarray(
+            before.weights
+        ).tobytes()
+        assert dynamic.content_fingerprint == fp
+
+    @settings(max_examples=20, deadline=None)
+    @given(data=st.data())
+    def test_edge_input_order_is_irrelevant(self, data):
+        graph = data.draw(small_graphs())
+        sources = graph.edge_sources()
+        dst = np.asarray(graph.edges)
+        wts = np.asarray(graph.weights)
+        perm = data.draw(st.permutations(list(range(graph.num_edges))))
+        perm = np.asarray(perm, dtype=np.int64)
+        shuffled = CSRGraph.from_edge_list(
+            graph.num_vertices,
+            list(zip(sources[perm], dst[perm])),
+            [float(w) for w in wts[perm]],
+            name="shuffled",
+        )
+        a = DynamicGraph(graph, key="HYP-ORD-A")
+        b = DynamicGraph(shuffled, key="HYP-ORD-B")
+        assert a.content_fingerprint == b.content_fingerprint
+
+    def test_fingerprint_tracks_mutation(self):
+        dynamic = DynamicGraph(datasets.load("FR"), key="HYP-FP")
+        fp = dynamic.content_fingerprint
+        dynamic.apply(EdgeBatch.of(inserts=[(0, 5)]))
+        assert dynamic.content_fingerprint != fp
+
+
+class TestChurnTraces:
+    def test_same_seed_same_batches(self):
+        graph = datasets.load("FR")
+        first = [
+            b.digest()
+            for b in churn_batches(graph, num_batches=4, batch_edges=16, seed=9)
+        ]
+        second = [
+            b.digest()
+            for b in churn_batches(graph, num_batches=4, batch_edges=16, seed=9)
+        ]
+        assert first == second
+        distinct = [
+            b.digest()
+            for b in churn_batches(graph, num_batches=4, batch_edges=16, seed=10)
+        ]
+        assert first != distinct
+
+    @settings(max_examples=15, deadline=None)
+    @given(data=st.data())
+    def test_generated_batches_always_apply_cleanly(self, data):
+        graph = data.draw(small_graphs())
+        seed = data.draw(st.integers(min_value=0, max_value=999))
+        fraction = data.draw(
+            st.sampled_from([0.0, 0.25, 0.5, 0.75, 1.0])
+        )
+        dynamic = DynamicGraph(graph, key="HYP-TRACE")
+        for batch in churn_batches(
+            dynamic.graph,
+            num_batches=4,
+            batch_edges=5,
+            insert_fraction=fraction,
+            seed=seed,
+        ):
+            dynamic.apply(batch)  # DynamicGraphError would fail the test
+        assert dynamic.generation == 4
+
+    def test_derived_churn_keys_are_reproducible(self):
+        first = derive_churned("FR", 3, key="HYP-DRV-A", replace=True)
+        second = derive_churned("FR", 3, key="HYP-DRV-B", replace=True)
+        try:
+            assert first.content_fingerprint == second.content_fingerprint
+            assert first.generation == second.generation == 3
+        finally:
+            dyn.unregister("HYP-DRV-A")
+            dyn.unregister("HYP-DRV-B")
+
+
+class TestValidation:
+    def test_out_of_range_insert_rejected(self):
+        dynamic = DynamicGraph(datasets.load("FR"), key="HYP-RANGE")
+        with pytest.raises(DynamicGraphError):
+            dynamic.apply(
+                EdgeBatch.of(inserts=[(0, dynamic.num_vertices)])
+            )
+        assert dynamic.generation == 0  # failed applies leave no trace
+
+    def test_missing_delete_triple_rejected(self):
+        graph = CSRGraph.from_edge_list(3, [(0, 1)], [2.0], name="tiny")
+        dynamic = DynamicGraph(graph, key="HYP-MISS")
+        with pytest.raises(DynamicGraphError, match="cannot delete"):
+            dynamic.apply(
+                EdgeBatch.of(deletes=[(0, 1)], delete_weights=[9.0])
+            )
+        # The right weight identifies the edge.
+        dynamic.apply(EdgeBatch.of(deletes=[(0, 1)], delete_weights=[2.0]))
+        assert dynamic.num_edges == 0
+
+    def test_mismatched_weight_arrays_rejected(self):
+        with pytest.raises(DynamicGraphError, match="parallel"):
+            EdgeBatch.of(inserts=[(0, 1), (1, 2)], insert_weights=[1.0])
+
+    def test_malformed_pairs_rejected(self):
+        with pytest.raises(DynamicGraphError, match=r"\(N, 2\)"):
+            EdgeBatch.of(inserts=[(0, 1, 2)])
+
+    def test_continuation_requires_both_kwargs(self):
+        graph = datasets.load("FR")
+        with pytest.raises(ValueError):
+            run_vcpm(
+                graph,
+                get_algorithm("BFS"),
+                source=0,
+                initial_active=np.asarray([0]),
+            )
+
+    def test_continuation_rejected_for_pr(self):
+        graph = datasets.load("FR")
+        with pytest.raises(ValueError):
+            run_vcpm(
+                graph,
+                get_algorithm("PR"),
+                source=None,
+                initial_properties=np.zeros(graph.num_vertices),
+                initial_active=np.asarray([0]),
+            )
+
+
+class TestRegistry:
+    def test_static_key_collision_rejected(self):
+        with pytest.raises(ValueError, match="static"):
+            dyn.register(DynamicGraph(datasets.load("FR"), key="FR"))
+
+    def test_register_get_unregister_round_trip(self):
+        dynamic = DynamicGraph(datasets.load("FR"), key="HYP-REG")
+        dyn.register(dynamic)
+        try:
+            assert dyn.is_registered("hyp-reg")  # case-folded
+            assert dyn.get("HYP-REG") is dynamic
+            assert datasets.is_dynamic("HYP-REG")
+            assert datasets.load("HYP-REG") is dynamic.graph
+        finally:
+            dyn.unregister("HYP-REG")
+        assert not dyn.is_registered("HYP-REG")
+        with pytest.raises(KeyError):
+            dyn.get("HYP-REG")
+
+    def test_datasets_generation_tracks_mutation(self):
+        dynamic = DynamicGraph(datasets.load("FR"), key="HYP-GENQ")
+        dyn.register(dynamic)
+        try:
+            assert datasets.generation("HYP-GENQ") == 0
+            fp = datasets.fingerprint("HYP-GENQ")
+            dynamic.apply(EdgeBatch.of(inserts=[(0, 2)]))
+            assert datasets.generation("HYP-GENQ") == 1
+            assert datasets.fingerprint("HYP-GENQ") != fp
+        finally:
+            dyn.unregister("HYP-GENQ")

@@ -123,7 +123,12 @@ class TestSuite:
     def test_cell_contains_all_systems(self):
         suite = ExperimentSuite()
         cell = suite.cell("BFS", "FR")
-        assert set(cell.reports) == {"GraphDynS", "Graphicionado", "Gunrock"}
+        assert set(cell.reports) == {
+            "GraphDynS",
+            "Graphicionado",
+            "Gunrock",
+            "DCA",
+        }
         assert set(cell.energy) == set(cell.reports)
 
     def test_speedup_over_gunrock_self_is_one(self):
